@@ -1,0 +1,58 @@
+"""Ablation — int-backed addresses vs the stdlib ``ipaddress`` objects.
+
+DESIGN.md: the library stores addresses as plain 128-bit ints. This
+ablation measures classification and containment throughput for both
+representations to justify the choice.
+"""
+
+import ipaddress
+
+import numpy as np
+import pytest
+
+from repro.net.addrgen import random_targets
+from repro.net.addrtypes import classify_address
+from repro.net.prefix import Prefix
+
+P = Prefix.parse("3fff:1000::/32")
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def int_addresses():
+    rng = np.random.default_rng(0)
+    return random_targets(P, rng, N)
+
+
+@pytest.fixture(scope="module")
+def object_addresses(int_addresses):
+    return [ipaddress.IPv6Address(a) for a in int_addresses]
+
+
+def test_ablation_contains_int(benchmark, int_addresses):
+    def run():
+        return sum(1 for a in int_addresses if P.contains_address(a))
+    assert benchmark(run) == N
+
+
+def test_ablation_contains_ipaddress(benchmark, object_addresses):
+    network = ipaddress.IPv6Network("3fff:1000::/32")
+
+    def run():
+        return sum(1 for a in object_addresses if a in network)
+    assert benchmark(run) == N
+
+
+def test_ablation_classify_int(benchmark, int_addresses):
+    def run():
+        return sum(1 for a in int_addresses
+                   if classify_address(a) is not None)
+    assert benchmark(run) == N
+
+
+def test_ablation_classify_via_ipaddress(benchmark, object_addresses):
+    """Classification that must first unwrap an object representation."""
+    def run():
+        return sum(1 for a in object_addresses
+                   if classify_address(int(a)) is not None)
+    assert benchmark(run) == N

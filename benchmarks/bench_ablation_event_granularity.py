@@ -1,0 +1,73 @@
+"""Ablation — session-burst simulation vs per-packet events.
+
+DESIGN.md: the driver schedules *sessions* and expands each into a timed
+packet burst, instead of scheduling one simulator event per packet. This
+ablation quantifies the saving by emitting the same packet stream both
+ways.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.sim.events import Simulator
+from repro.telescope.capture import PacketCapture
+from repro.telescope.packet import ICMPV6, Packet
+
+P = Prefix.parse("3fff:1000::/32")
+NUM_SESSIONS = 200
+PACKETS_PER_SESSION = 100
+
+
+def _session_plan():
+    rng = np.random.default_rng(1)
+    plan = []
+    for s in range(NUM_SESSIONS):
+        start = float(rng.uniform(0, 1e6))
+        gaps = rng.exponential(0.25, size=PACKETS_PER_SESSION)
+        plan.append((start, list(np.cumsum(gaps))))
+    return plan
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return _session_plan()
+
+
+def test_ablation_session_bursts(benchmark, plan):
+    """One simulator event per session; packets expanded inline."""
+    def run():
+        sim = Simulator()
+        capture = PacketCapture()
+
+        def fire(start, offsets):
+            for offset in offsets:
+                capture.record(Packet(time=start + offset, src=1,
+                                      dst=P.network | 1,
+                                      protocol=ICMPV6))
+
+        for start, offsets in plan:
+            sim.schedule_at(start, lambda s=start, o=offsets: fire(s, o))
+        sim.run_until(2e6)
+        return len(capture)
+
+    total = benchmark(run)
+    assert total == NUM_SESSIONS * PACKETS_PER_SESSION
+
+
+def test_ablation_per_packet_events(benchmark, plan):
+    """One simulator event per packet (the rejected design)."""
+    def run():
+        sim = Simulator()
+        capture = PacketCapture()
+        for start, offsets in plan:
+            for offset in offsets:
+                t = start + offset
+                sim.schedule_at(t, lambda t=t: capture.record(
+                    Packet(time=t, src=1, dst=P.network | 1,
+                           protocol=ICMPV6)))
+        sim.run_until(2e6)
+        return len(capture)
+
+    total = benchmark(run)
+    assert total == NUM_SESSIONS * PACKETS_PER_SESSION

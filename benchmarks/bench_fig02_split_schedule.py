@@ -1,0 +1,43 @@
+"""Figure 2 — the asymmetric bi-weekly prefix-split schedule.
+
+Paper: starting from a stable /32, one prefix is recursively split every
+two weeks (with one silent day between cycles) until 17 prefixes are
+announced and the most-specific is a /48; the companion /33 holding the
+low-byte address stays unsplit.
+"""
+
+from conftest import print_comparison
+
+from repro.bgp.controller import build_split_schedule
+from repro.net.prefix import Prefix
+from repro.sim.clock import DAY, WEEK
+
+T1 = Prefix.parse("3fff:1000::/32")
+
+
+def test_fig02_split_schedule(benchmark):
+    schedule = benchmark(build_split_schedule, T1)
+    final = schedule[-1]
+    lengths = sorted(p.length for p in final.prefixes)
+    print_comparison("Fig 2", [
+        ("announcement cycles", "17", str(len(schedule))),
+        ("final prefix count", "17", str(len(final.prefixes))),
+        ("most-specific length", "/48", f"/{lengths[-1]}"),
+        ("experiment span", "44 weeks",
+         f"{final.withdraw_time / WEEK + 1 / 7:.0f} weeks"),
+    ])
+    assert len(schedule) == 17
+    assert [len(c.prefixes) for c in schedule] == list(range(1, 18))
+    assert lengths == list(range(33, 48)) + [48, 48]
+    # one silent day between consecutive cycles
+    for cycle, following in zip(schedule[1:], schedule[2:]):
+        assert following.announce_time - cycle.withdraw_time == DAY
+    # the stable companion /33 holds the /32's low-byte address throughout
+    for cycle in schedule[1:]:
+        holders = [p for p in cycle.prefixes
+                   if p.contains_address(T1.low_byte_address)]
+        assert len(holders) == 1 and holders[0].length == 33
+    # announced sets always tile the /32 without overlap
+    for cycle in schedule:
+        assert sum(p.num_addresses for p in cycle.prefixes) \
+            == T1.num_addresses

@@ -1,0 +1,31 @@
+"""Figure 3 — new source prefixes discovered after a fresh announcement.
+
+Paper: during the initial 12-week observation the number of newly seen
+source prefixes decays notably after about two weeks — the basis for the
+bi-weekly announcement interval.
+"""
+
+from conftest import print_comparison
+
+from repro.analysis.figures import fig3
+
+
+def test_fig03_new_prefixes(benchmark, bench_analysis):
+    result = benchmark.pedantic(fig3, args=(bench_analysis,),
+                                rounds=1, iterations=1)
+    print(result.render())
+    knee = result.knee_day()
+    first_two_weeks = sum(result.daily_new[:14])
+    total = sum(result.daily_new)
+    print_comparison("Fig 3", [
+        ("80% discovery knee", "~14 days", f"{knee} days"),
+        ("share discovered in 14 days", "large",
+         f"{100 * first_two_weeks / total:.0f}%"),
+    ])
+    assert total > 0
+    # discovery is front-loaded: the first two weeks find far more new
+    # prefixes than any later two-week window of the baseline
+    later_windows = [sum(result.daily_new[start:start + 14])
+                     for start in range(14, len(result.daily_new), 14)]
+    assert first_two_weeks >= max(later_windows)
+    assert first_two_weeks > 0.25 * total

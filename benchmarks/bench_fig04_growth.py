@@ -1,0 +1,38 @@
+"""Figure 4 — cumulative growth of packets, ASes, sources, and sessions.
+
+Paper: all aggregates grow smoothly except packets (heavy-hitter jumps);
+/128 sources and sessions grow faster than their /64 aggregation — the
+divergence that motivates analyzing both levels.
+"""
+
+from conftest import print_comparison
+
+from repro.analysis.figures import fig4
+
+
+def test_fig04_growth(benchmark, bench_analysis):
+    result = benchmark.pedantic(fig4, args=(bench_analysis,),
+                                rounds=1, iterations=1)
+    print(result.render())
+    src_ratio = result.final_ratio("sources_128", "sources_64")
+    sess_ratio = result.final_ratio("sessions_128", "sessions_64")
+    print_comparison("Fig 4", [
+        ("/128 over /64 sources", "1.4x (36k/26k)", f"{src_ratio:.1f}x"),
+        ("/128 over /64 sessions", "5.0x (754k/151k)",
+         f"{sess_ratio:.1f}x"),
+    ])
+    # divergence between aggregation levels
+    assert src_ratio > 1.1
+    assert sess_ratio > 1.1
+    # every series is non-decreasing (cumulative)
+    for name, series in result.series.items():
+        assert series == sorted(series), name
+    # packets grow discontinuously relative to sources: the largest
+    # single-week packet jump dwarfs the largest source jump (relatively)
+    packets = result.series["packets"]
+    sources = result.series["sources_128"]
+    packet_jump = max(b - a for a, b in zip(packets, packets[1:])) \
+        / packets[-1]
+    source_jump = max(b - a for a, b in zip(sources, sources[1:])) \
+        / sources[-1]
+    assert packet_jump > source_jump

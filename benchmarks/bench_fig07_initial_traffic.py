@@ -1,0 +1,41 @@
+"""Figure 7 — initial-period traffic and scanner classification.
+
+Paper: T2 shows longer/higher hourly peaks (scanners targeting its one
+DNS-named address); most scanners return and follow a structured address
+selection; T3/T4 sessions are exclusively structured.
+"""
+
+from conftest import print_comparison
+
+from repro.analysis.figures import fig7
+from repro.core.addrclass import AddressClass
+
+
+def test_fig07_initial_traffic(benchmark, bench_analysis):
+    result = benchmark.pedantic(fig7, args=(bench_analysis,),
+                                rounds=1, iterations=1)
+    structured = {}
+    for telescope, histogram in result.classification.items():
+        total = sum(histogram.values())
+        s = sum(count for (_, addr_cls), count in histogram.items()
+                if addr_cls is AddressClass.STRUCTURED)
+        structured[telescope] = s / total if total else 1.0
+    print_comparison("Fig 7", [
+        ("T1 structured session share", "majority",
+         f"{100 * structured['T1']:.0f}%"),
+        ("T2 structured session share", "majority",
+         f"{100 * structured['T2']:.0f}%"),
+    ])
+    # T1/T2 carry real traffic in the baseline; T3 nearly silent
+    assert sum(result.hourly["T1"]) > 1000
+    assert sum(result.hourly["T2"]) > 1000
+    assert sum(result.hourly["T3"]) < 100
+    # structured selection dominates everywhere
+    assert structured["T1"] > 0.5
+    assert structured["T2"] > 0.5
+    # no random sessions at the low-volume telescopes (paper: T3/T4)
+    for telescope in ("T3", "T4"):
+        histogram = result.classification.get(telescope, {})
+        randoms = sum(count for (_, cls), count in histogram.items()
+                      if cls is AddressClass.RANDOM)
+        assert randoms == 0

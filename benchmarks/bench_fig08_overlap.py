@@ -1,0 +1,33 @@
+"""Figure 8 — cross-telescope intersections of ASNs and sources.
+
+Paper: ~90% of /128 sources are exclusive to a single telescope; around
+half of the ASNs seen at T1 and T2 overlap; T3's few source ASNs all
+appear at the other telescopes too.
+"""
+
+from conftest import print_comparison
+
+from repro.analysis.figures import fig8
+
+
+def test_fig08_overlap(benchmark, bench_analysis):
+    result = benchmark.pedantic(fig8, args=(bench_analysis,),
+                                rounds=1, iterations=1)
+    print(result.render())
+    exclusive = result.exclusive_source_share()
+    t1_asns = result.asns.set_sizes.get("T1", 0)
+    t1_t2_shared = sum(
+        count for combo, count in result.asns.intersections.items()
+        if "T1" in combo and "T2" in combo)
+    print_comparison("Fig 8", [
+        ("exclusive /128 source share", "~90%",
+         f"{100 * exclusive:.0f}%"),
+        ("T1 ASNs also seen at T2", "~half",
+         f"{t1_t2_shared}/{t1_asns}"),
+    ])
+    assert exclusive > 0.75
+    # substantial ASN overlap between the separately announced T1 and T2
+    assert t1_t2_shared > 0.2 * t1_asns
+    # each telescope still attracts some exclusive ASNs at T1/T2
+    assert result.asns.exclusive("T1") > 0
+    assert result.asns.exclusive("T2") > 0

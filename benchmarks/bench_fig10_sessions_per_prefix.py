@@ -1,0 +1,37 @@
+"""Figure 10 — cumulative sessions per most-specific announced prefix.
+
+Paper: silent subnets attract almost nothing (the /48s received 0.4% of
+sessions while still covered); once announced as prefixes, attention jumps
+(final period: 15.7% of sessions into /48s, a 39x increase).
+"""
+
+from conftest import print_comparison
+
+from repro.analysis.figures import fig10
+from repro.core.netclass import sessions_per_prefix  # noqa: F401 (docs)
+
+
+def test_fig10_sessions_per_prefix(benchmark, bench_analysis):
+    result = benchmark.pedantic(fig10, args=(bench_analysis,),
+                                rounds=1, iterations=1)
+    print(result.render())
+    share_48 = result.final_share_of_48s()
+    print_comparison("Fig 10", [
+        ("/48 session share, final cycle", "15.7%",
+         f"{100 * share_48:.1f}%"),
+    ])
+    # announced /48s end up with a visible share of all sessions
+    assert share_48 > 0.02
+    # every prefix's cumulative series is non-decreasing and becomes
+    # nonzero only after its announcement
+    schedule = bench_analysis.corpus.schedule
+    first_cycle = {}
+    for cycle in schedule:
+        for prefix in cycle.new_prefixes:
+            first_cycle.setdefault(prefix, cycle.index)
+    for prefix, series in result.cumulative.items():
+        assert series == sorted(series)
+        announced_at = first_cycle.get(prefix)
+        if announced_at is not None and announced_at > 0:
+            for index_before in range(announced_at):
+                assert series[index_before] == 0, prefix

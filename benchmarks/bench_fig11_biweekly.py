@@ -1,0 +1,36 @@
+"""Figure 11 — bi-weekly sessions and sources, T1 vs the other telescopes.
+
+Paper: T1's sources (+275% weekly average) and sessions (+555%) grow with
+every prefix split, while the aggregated remaining telescopes stay stable.
+"""
+
+import numpy as np
+from conftest import print_comparison
+
+from repro.analysis.figures import fig11
+
+
+def test_fig11_biweekly(benchmark, bench_analysis):
+    result = benchmark.pedantic(fig11, args=(bench_analysis,),
+                                rounds=1, iterations=1)
+    print(result.render())
+    t1_split = [a for a in result.t1 if a.cycle_index > 0]
+    rest_split = [a.sources for a in result.others if a.cycle_index > 0]
+    rest_cv = float(np.std(rest_split) / max(np.mean(rest_split), 1e-9))
+    t1_cycle_growth = t1_split[-1].sources / max(t1_split[0].sources, 1)
+    t1_session_growth = t1_split[-1].sessions \
+        / max(t1_split[0].sessions, 1)
+    print_comparison("Fig 11", [
+        ("T1 sources last/first cycle", "rising",
+         f"{t1_cycle_growth:.2f}x"),
+        ("T1 sessions last/first cycle", "rising",
+         f"{t1_session_growth:.2f}x"),
+        ("other telescopes", "stable", f"cv={rest_cv:.2f}"),
+    ])
+    # T1 rises across the split cycles (sources and, strongly, sessions)
+    assert t1_cycle_growth > 1.15
+    assert t1_session_growth > 1.5
+    # the remaining telescopes show no comparable trend
+    rest_growth = rest_split[-1] / max(rest_split[0], 1)
+    assert rest_growth < t1_session_growth
+    assert rest_cv < 0.5

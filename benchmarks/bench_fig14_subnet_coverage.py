@@ -1,0 +1,53 @@
+"""Figure 14 — packets per scanner temporal type across /48 subnets.
+
+Paper: intermittent scanners probe the majority of subnets rather evenly,
+one-off scanners focus on a few selected subnets, periodic scanners cover
+a wide range but visit subnets selectively.
+"""
+
+import numpy as np
+from conftest import print_comparison
+
+from repro.analysis.figures import fig14
+from repro.core.temporal import TemporalClass
+
+
+def _gini(series: list[int]) -> float:
+    """Concentration of a ranked positive series (0 = even, 1 = single)."""
+    if not series:
+        return 0.0
+    values = np.sort(np.array(series, dtype=float))
+    n = len(values)
+    if values.sum() == 0:
+        return 0.0
+    index = np.arange(1, n + 1)
+    return float((2 * (index * values).sum() / (n * values.sum()))
+                 - (n + 1) / n)
+
+
+def test_fig14_subnet_coverage(benchmark, bench_analysis):
+    result = benchmark.pedantic(fig14, args=(bench_analysis,),
+                                rounds=1, iterations=1)
+    print(result.render())
+    coverage = {cls: len(series) for cls, series in result.ranked.items()}
+    print_comparison("Fig 14", [
+        ("intermittent subnet coverage", "broad, even",
+         f"{coverage.get(TemporalClass.INTERMITTENT, 0)} subnets"),
+        ("one-off subnet coverage", "few, focused",
+         f"{coverage.get(TemporalClass.ONE_OFF, 0)} subnets"),
+        ("periodic subnet coverage", "wide, selective",
+         f"{coverage.get(TemporalClass.PERIODIC, 0)} subnets"),
+    ])
+    # recurring scanners cover more /48 subnets than one-off scanners
+    assert coverage[TemporalClass.PERIODIC] \
+        > 1.5 * coverage[TemporalClass.ONE_OFF]
+    # one-off packets concentrate on few subnets; intermittent scanners
+    # spread theirs more evenly (lower concentration)
+    gini_one_off = _gini(result.ranked[TemporalClass.ONE_OFF])
+    gini_intermittent = _gini(result.ranked[TemporalClass.INTERMITTENT])
+    print(f"concentration: one-off={gini_one_off:.2f} "
+          f"intermittent={gini_intermittent:.2f}")
+    assert gini_one_off > 0.2
+    # ranked series strictly non-increasing
+    for series in result.ranked.values():
+        assert series == sorted(series, reverse=True)

@@ -1,0 +1,40 @@
+"""Figure 15 — address selection x temporal class, T1 split period.
+
+Paper: structured probing prevails in all temporal classes; many sessions
+still traverse the space randomly, especially those of periodic scanners
+(topology measurements).
+"""
+
+from conftest import print_comparison
+
+from repro.analysis.figures import fig15
+from repro.core.addrclass import AddressClass
+from repro.core.temporal import TemporalClass
+
+
+def test_fig15_split_taxonomy(benchmark, bench_analysis):
+    result = benchmark.pedantic(fig15, args=(bench_analysis,),
+                                rounds=1, iterations=1)
+    print(result.render())
+    total = sum(result.histogram.values())
+    structured = sum(count for (_, cls), count in result.histogram.items()
+                     if cls is AddressClass.STRUCTURED)
+    random_periodic = result.histogram.get(
+        (TemporalClass.PERIODIC, AddressClass.RANDOM), 0)
+    random_total = sum(count for (_, cls), count
+                       in result.histogram.items()
+                       if cls is AddressClass.RANDOM)
+    print_comparison("Fig 15", [
+        ("structured session share", "prevalent",
+         f"{100 * structured / total:.0f}%"),
+        ("random sessions from periodic", "most",
+         f"{random_periodic}/{random_total}"),
+    ])
+    assert structured / total > 0.4
+    assert structured == max(
+        sum(count for (_, cls), count in result.histogram.items()
+            if cls is target)
+        for target in AddressClass)
+    # random probing present, mostly from periodic scanners
+    assert random_total > 0
+    assert random_periodic >= 0.5 * random_total

@@ -1,0 +1,39 @@
+"""Figure 17 / Appendix B — NIST randomness outcomes, IID vs subnet bits.
+
+Paper: for sessions of >=100 packets, the subnet part mostly fails the
+NIST tests while IID selections pass far more often — scanners structure
+their subnet choice but tend to randomize interface identifiers.
+"""
+
+import numpy as np
+from conftest import print_comparison
+
+from repro.analysis.figures import fig17
+
+
+def test_fig17_nist(benchmark, bench_analysis):
+    result = benchmark.pedantic(fig17, args=(bench_analysis,),
+                                rounds=1, iterations=1)
+    print(result.render())
+
+    def mean_share(section: str, test: str) -> float:
+        values = [v for (_, sec, t), v in result.pass_shares.items()
+                  if sec == section and t == test]
+        return float(np.mean(values)) if values else 0.0
+
+    iid_pass = mean_share("iid", "frequency")
+    subnet_pass = mean_share("subnet", "frequency")
+    print_comparison("Fig 17", [
+        ("sessions tested (>=100 pkts)", "2,219 (2.4%)",
+         str(result.sessions_tested)),
+        ("IID frequency pass share", "higher", f"{iid_pass:.2f}"),
+        ("subnet frequency pass share", "mostly fail",
+         f"{subnet_pass:.2f}"),
+    ])
+    assert result.sessions_tested > 10
+    # headline: IIDs pass randomness tests more often than subnets
+    assert iid_pass > subnet_pass
+    assert subnet_pass < 0.5
+    # all five tests report for both sections
+    tests = {t for (_, _, t) in result.pass_shares}
+    assert tests == {"frequency", "runs", "fft", "cusum0", "cusum1"}

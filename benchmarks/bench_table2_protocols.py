@@ -1,0 +1,40 @@
+"""Table 2 — packets, sessions, and sources per transport protocol.
+
+Paper: ICMPv6 carries most packets (66.2%), UDP 23.4%, TCP only 10.5% —
+yet TCP appears in 92.8% of sessions and over half of all sources.
+"""
+
+from conftest import print_comparison
+
+from repro.analysis.tables import table2
+from repro.telescope.packet import Protocol
+
+
+def test_table2_protocols(benchmark, bench_analysis):
+    result = benchmark.pedantic(table2, args=(bench_analysis,),
+                                rounds=1, iterations=1)
+    print(result.table.render())
+    print_comparison("Table 2", [
+        ("ICMPv6 packet share", "66.2%",
+         f"{100 * result.packet_shares[Protocol.ICMPV6]:.1f}%"),
+        ("UDP packet share", "23.4%",
+         f"{100 * result.packet_shares[Protocol.UDP]:.1f}%"),
+        ("TCP packet share", "10.5%",
+         f"{100 * result.packet_shares[Protocol.TCP]:.1f}%"),
+        ("TCP session share", "92.8%",
+         f"{100 * result.session_shares[Protocol.TCP]:.1f}%"),
+        ("TCP source share", "55.4%",
+         f"{100 * result.source_shares[Protocol.TCP]:.1f}%"),
+        ("ICMPv6 source share", "56.5%",
+         f"{100 * result.source_shares[Protocol.ICMPV6]:.1f}%"),
+    ])
+    # shape: ICMPv6 dominates packets ...
+    assert result.packet_shares[Protocol.ICMPV6] > 0.45
+    assert result.packet_shares[Protocol.ICMPV6] \
+        > result.packet_shares[Protocol.TCP]
+    # ... while TCP dominates sessions despite few packets
+    assert result.session_shares[Protocol.TCP] \
+        > 2 * result.packet_shares[Protocol.TCP]
+    assert result.session_shares[Protocol.TCP] > 0.5
+    # multi-protocol scanners push summed session shares past 100%
+    assert sum(result.session_shares.values()) > 1.0

@@ -1,0 +1,39 @@
+"""Table 4 — top 5 target ports per /64 session.
+
+Paper: TCP port 80 leads (87.2% of TCP sessions), then 443 (29.4%); UDP is
+dominated by the classic traceroute range (71.4%), then DNS/SNMP/ISAKMP/
+NTP at similar shares.
+"""
+
+from conftest import print_comparison
+
+from repro.analysis.tables import table4
+from repro.core.protocols import TRACEROUTE_BUCKET
+
+
+def test_table4_ports(benchmark, bench_analysis):
+    result = benchmark.pedantic(table4, args=(bench_analysis,),
+                                rounds=1, iterations=1)
+    print(result.table.render())
+    tcp_ranked = {port: share for port, _, share in result.tcp}
+    udp_ranked = {port: share for port, _, share in result.udp}
+    print_comparison("Table 4", [
+        ("top TCP port", "80 (87.2%)",
+         f"{result.tcp[0][0]} ({100 * result.tcp[0][2]:.1f}%)"),
+        ("2nd TCP port", "443 (29.4%)",
+         f"{result.tcp[1][0]} ({100 * result.tcp[1][2]:.1f}%)"),
+        ("top UDP bucket", "traceroute (71.4%)",
+         f"{'traceroute' if result.udp[0][0] == TRACEROUTE_BUCKET else result.udp[0][0]}"
+         f" ({100 * result.udp[0][2]:.1f}%)"),
+    ])
+    # shape: 80 first, 443 second, both far ahead of the rest
+    assert result.tcp[0][0] == 80
+    assert result.tcp[1][0] == 443
+    assert tcp_ranked[80] > 1.4 * tcp_ranked[443]
+    remaining = [share for port, share in tcp_ranked.items()
+                 if port not in (80, 443)]
+    assert all(share < tcp_ranked[443] for share in remaining)
+    # traceroute dominates UDP; DNS in the top ports
+    assert result.udp[0][0] == TRACEROUTE_BUCKET
+    assert udp_ranked[TRACEROUTE_BUCKET] > 0.4
+    assert 53 in udp_ranked

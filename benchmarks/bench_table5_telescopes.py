@@ -1,0 +1,51 @@
+"""Table 5 — telescope comparison before the split period.
+
+Paper: telescopes with own BGP announcements (T1, T2) receive 4-6 orders
+of magnitude more traffic than subnets of a covering prefix (T3, T4); the
+reactive T4 still sees ~2 orders of magnitude more than the silent T3. T2
+attracts 380% more /128 sources than T1 and 3x more /128 than /64 sources
+(address rotation); TCP is the top protocol only at T2.
+"""
+
+from conftest import print_comparison
+
+from repro.analysis.tables import table5
+from repro.telescope.packet import Protocol
+
+
+def test_table5_telescopes(benchmark, bench_analysis):
+    result = benchmark.pedantic(table5, args=(bench_analysis,),
+                                rounds=1, iterations=1)
+    print(result.table_a.render())
+    print(result.table_b.render())
+    ratio_sources = result.sources_128["T2"] / max(result.sources_128["T1"], 1)
+    rotation = result.sources_128["T2"] / max(result.sources_64["T2"], 1)
+    print_comparison("Table 5", [
+        ("T1 packets", "2,161,354", f"{result.packets['T1']:,}"),
+        ("T2 packets", "2,464,417", f"{result.packets['T2']:,}"),
+        ("T3 packets", "43", f"{result.packets['T3']:,}"),
+        ("T4 packets", "3,416", f"{result.packets['T4']:,}"),
+        ("T2/T1 /128 sources", "4.8x", f"{ratio_sources:.1f}x"),
+        ("T2 /128 over /64", "3.1x", f"{rotation:.1f}x"),
+    ])
+    # shape: announced telescopes >> covered subnets; reactive >> silent
+    assert result.packets["T1"] > 1000 * max(result.packets["T3"], 1)
+    assert result.packets["T2"] > 1000 * max(result.packets["T3"], 1)
+    assert result.packets["T4"] > 20 * max(result.packets["T3"], 1)
+    # T2 beats T1 in packets and (by far) in sources
+    assert result.packets["T2"] > result.packets["T1"]
+    assert ratio_sources > 2.0
+    # rotation: T2's /128 sources far outnumber its /64 subnets
+    assert rotation > 2.0
+    # T1, T3, T4 show no meaningful rotation
+    for name in ("T1", "T3", "T4"):
+        if result.sources_64[name]:
+            assert result.sources_128[name] \
+                <= 1.3 * result.sources_64[name]
+    # TCP leads only at T2; ICMPv6 leads everywhere else with sources
+    t2_sources = result.protocol_sources["T2"]
+    assert t2_sources.get(Protocol.TCP, 0) \
+        > t2_sources.get(Protocol.ICMPV6, 0)
+    t1_sources = result.protocol_sources["T1"]
+    assert t1_sources.get(Protocol.ICMPV6, 0) \
+        > t1_sources.get(Protocol.TCP, 0)

@@ -1,0 +1,40 @@
+"""Table 8 — network types of T1 split-period scan sources.
+
+Paper: hosting (56.0%) and ISP (39.6%) networks originate 96% of scanners;
+education is only 2.1% of scanners yet 31.3% of packets — driven by one
+heavy hitter, dropping to 10% without it. Heavy hitters sit in hosting.
+"""
+
+from conftest import print_comparison
+
+from repro.analysis.tables import table8
+from repro.scanners.registry import NetworkType
+
+
+def test_table8_network_types(benchmark, bench_analysis):
+    result = benchmark.pedantic(table8, args=(bench_analysis,),
+                                rounds=1, iterations=1)
+    print(result.table.render())
+    total = sum(result.scanners.values())
+
+    def share(network_type):
+        return result.scanners.get(network_type, 0) / total
+
+    print_comparison("Table 8", [
+        ("hosting scanner share", "56.0%",
+         f"{100 * share(NetworkType.HOSTING):.1f}%"),
+        ("ISP scanner share", "39.6%",
+         f"{100 * share(NetworkType.ISP):.1f}%"),
+        ("education scanner share", "2.1%",
+         f"{100 * share(NetworkType.EDUCATION):.1f}%"),
+    ])
+    # shape: hosting + ISP dominate sources
+    assert share(NetworkType.HOSTING) + share(NetworkType.ISP) > 0.85
+    assert share(NetworkType.HOSTING) > share(NetworkType.EDUCATION)
+    assert share(NetworkType.ISP) > share(NetworkType.BUSINESS)
+    # heavy hitters concentrate packets: removing them must cut the
+    # packet counts of hosting (and education when its hitter fired)
+    hosting_all = result.packets.get(NetworkType.HOSTING, 0)
+    hosting_wo = result.packets_without_hitters.get(NetworkType.HOSTING, 0)
+    assert hosting_wo < hosting_all
+    assert hosting_wo < 0.6 * hosting_all

@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures.
+
+One benchmark corpus is simulated per session (full 44-week timeline at a
+reduced population scale, fixed seed) and reused by every table/figure
+benchmark. Analyses therefore operate on identical data, and the printed
+paper-vs-measured comparisons are deterministic.
+
+Set ``REPRO_BENCH_SCALE`` to change the population scale (default 0.35).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.context import CorpusAnalysis
+from repro.experiment import ExperimentConfig, run_experiment
+
+
+def _bench_config() -> ExperimentConfig:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+    return ExperimentConfig(seed=42, scale=scale)
+
+
+@pytest.fixture(scope="session")
+def bench_result():
+    return run_experiment(_bench_config())
+
+
+@pytest.fixture(scope="session")
+def bench_corpus(bench_result):
+    return bench_result.corpus
+
+
+@pytest.fixture(scope="session")
+def bench_analysis(bench_corpus):
+    """Shared cached analysis context (sessionization computed once)."""
+    return CorpusAnalysis(bench_corpus)
+
+
+@pytest.fixture
+def fresh_analysis(bench_corpus):
+    """Uncached analysis context for timing cold-path analyses."""
+    def make() -> CorpusAnalysis:
+        return CorpusAnalysis(bench_corpus)
+    return make
+
+
+def print_comparison(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a paper-vs-measured block below the benchmark output."""
+    width = max(len(r[0]) for r in rows)
+    print(f"\n== {title} ==")
+    print(f"{'metric'.ljust(width)}  {'paper':>14}  {'measured':>14}")
+    for metric, paper, measured in rows:
+        print(f"{metric.ljust(width)}  {paper:>14}  {measured:>14}")

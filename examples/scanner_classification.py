@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Scanner taxonomy and tool fingerprinting (§5) on a simulated corpus.
+
+Classifies every T1 split-period scanner along the paper's three axes
+(temporal behavior, network selection, address selection), identifies
+public tools from payloads and RDNS, and — because the simulation knows
+the generative ground truth — reports classifier accuracy, which the
+paper's authors could never do on real traffic.
+
+Usage:
+    python examples/scanner_classification.py [scale]
+"""
+
+import sys
+from collections import Counter
+
+from repro.analysis.context import CorpusAnalysis
+from repro.analysis.tables import table6, table7
+from repro.core.aggregation import AggregationLevel
+from repro.experiment import ExperimentConfig, run_experiment
+from repro.experiment.phases import Phase
+
+
+def main() -> int:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+    result = run_experiment(ExperimentConfig(seed=11, scale=scale))
+    corpus = result.corpus
+    analysis = CorpusAnalysis(corpus)
+
+    print(table6(analysis).table.render())
+    print()
+    print(table7(analysis).table.render())
+    print()
+
+    # --- validate the temporal classifier against the ground truth -----
+    truth = result.ground_truth_temporal()
+    predicted = analysis.temporal_classes("T1", AggregationLevel.ADDR,
+                                          Phase.SPLIT)
+    # map /128 sources back to the scanner that owns them
+    source_owner: dict[int, int] = {}
+    for packet in corpus.packets("T1"):
+        source_owner.setdefault(packet.src, packet.scanner_id)
+
+    outcomes: Counter = Counter()
+    for source, predicted_class in predicted.items():
+        scanner_id = source_owner.get(source)
+        if scanner_id is None:
+            continue
+        expected = truth.get(scanner_id)
+        if expected in (None, "reactive"):
+            continue  # reactive scanners have no fixed expected class
+        # scanners observed for only part of their schedule legitimately
+        # degrade (periodic seen once -> one-off); count exact matches
+        outcomes["match" if predicted_class.value == expected
+                 else f"{expected}->{predicted_class.value}"] += 1
+
+    total = sum(outcomes.values())
+    print("temporal classifier vs generative ground truth "
+          f"({total} T1 split sources):")
+    for label, count in outcomes.most_common():
+        print(f"  {label}: {count} ({100 * count / total:.1f}%)")
+    print("\n(mismatches are expected when a recurring scanner was only "
+          "captured once inside the split window)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

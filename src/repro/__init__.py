@@ -1,0 +1,41 @@
+"""repro — IPv6 scanners and their adaption to BGP signals.
+
+A reproduction of "A Detailed Measurement View on IPv6 Scanners and Their
+Adaption to BGP Signals" (CoNEXT 2025): the four-telescope measurement
+infrastructure, a calibrated scanner ecosystem, and the paper's complete
+analysis methodology.
+
+Typical entry points:
+
+>>> from repro import ExperimentConfig, run_experiment, CorpusAnalysis
+>>> result = run_experiment(ExperimentConfig(seed=42, scale=0.1))
+>>> analysis = CorpusAnalysis(result.corpus)
+
+See :mod:`repro.analysis.tables` and :mod:`repro.analysis.figures` for
+the per-table/per-figure generators, and DESIGN.md for the full system
+inventory.
+"""
+
+from repro.analysis.context import CorpusAnalysis
+from repro.experiment.config import ExperimentConfig
+from repro.experiment.corpus import PacketCorpus
+from repro.experiment.driver import ExperimentResult, run_experiment
+from repro.net.addrtypes import AddressType, classify_address
+from repro.net.prefix import Prefix
+from repro.telescope.deployment import Deployment, build_deployment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "run_experiment",
+    "ExperimentResult",
+    "PacketCorpus",
+    "CorpusAnalysis",
+    "Prefix",
+    "AddressType",
+    "classify_address",
+    "Deployment",
+    "build_deployment",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Per-table and per-figure analysis generators.
+
+Each public function regenerates one artifact of the paper's evaluation
+from a :class:`repro.experiment.corpus.PacketCorpus`. The
+:class:`repro.analysis.context.CorpusAnalysis` wrapper caches expensive
+intermediate products (sessionization, classification) across artifacts.
+"""
+
+from repro.analysis.context import CorpusAnalysis
+from repro.analysis.report import Table, format_count, format_share
+
+__all__ = [
+    "CorpusAnalysis",
+    "Table",
+    "format_count",
+    "format_share",
+]

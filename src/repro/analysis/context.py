@@ -1,0 +1,84 @@
+"""Cached analysis context over one corpus.
+
+Sessionization and classification are the expensive steps shared by most
+tables and figures; :class:`CorpusAnalysis` computes each combination of
+(telescope, aggregation level, phase) exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.aggregation import AggregationLevel
+from repro.core.netclass import NetworkClass
+from repro.core.netclass import classify_all as classify_network_all
+from repro.core.sessions import Session, SessionSet, sessionize
+from repro.core.temporal import TemporalClass
+from repro.core.temporal import classify_all as classify_temporal_all
+from repro.experiment.corpus import PacketCorpus
+from repro.experiment.phases import Phase
+
+
+@dataclass
+class CorpusAnalysis:
+    """Lazy, cached access to derived analysis products."""
+
+    corpus: PacketCorpus
+    _sessions: dict = field(default_factory=dict)
+    _temporal: dict = field(default_factory=dict)
+    _network: dict = field(default_factory=dict)
+
+    # -- sessions ------------------------------------------------------------
+
+    def sessions(self, telescope: str,
+                 level: AggregationLevel = AggregationLevel.ADDR,
+                 phase: Phase = Phase.FULL) -> SessionSet:
+        key = (telescope, level, phase)
+        if key not in self._sessions:
+            packets = self.corpus.phase_packets(telescope, phase)
+            self._sessions[key] = sessionize(packets, telescope=telescope,
+                                             level=level)
+        return self._sessions[key]
+
+    def all_sessions(self, level: AggregationLevel = AggregationLevel.ADDR,
+                     phase: Phase = Phase.FULL) -> list[Session]:
+        combined: list[Session] = []
+        for telescope in self.corpus.telescopes():
+            combined.extend(self.sessions(telescope, level, phase).sessions)
+        return combined
+
+    def by_source(self, telescope: str,
+                  level: AggregationLevel = AggregationLevel.ADDR,
+                  phase: Phase = Phase.FULL) -> dict[int, list[Session]]:
+        return self.sessions(telescope, level, phase).by_source()
+
+    # -- classification ---------------------------------------------------------
+
+    def temporal_classes(self, telescope: str,
+                         level: AggregationLevel = AggregationLevel.ADDR,
+                         phase: Phase = Phase.FULL) \
+            -> dict[int, TemporalClass]:
+        key = (telescope, level, phase)
+        if key not in self._temporal:
+            self._temporal[key] = classify_temporal_all(
+                self.by_source(telescope, level, phase))
+        return self._temporal[key]
+
+    def network_classes(self, level: AggregationLevel = AggregationLevel.ADDR) \
+            -> dict[int, NetworkClass]:
+        """T1 split-period network-selection classes per source."""
+        if level not in self._network:
+            self._network[level] = classify_network_all(
+                self.by_source("T1", level, Phase.SPLIT),
+                self.corpus.schedule)
+        return self._network[level]
+
+    # -- convenience -----------------------------------------------------------------
+
+    def split_sessions_t1(self,
+                          level: AggregationLevel = AggregationLevel.ADDR) \
+            -> SessionSet:
+        return self.sessions("T1", level, Phase.SPLIT)
+
+    def initial_packets(self, telescope: str):
+        return self.corpus.phase_packets(telescope, Phase.INITIAL)

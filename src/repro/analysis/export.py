@@ -1,0 +1,90 @@
+"""CSV export of analysis artifacts.
+
+The library renders tables and figures as text; operators who want real
+plots can export the underlying data as CSV files and feed them to any
+plotting stack. One file per artifact, stable headers.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.analysis.context import CorpusAnalysis
+from repro.analysis.figures import (fig3, fig4, fig9, fig10, fig11)
+from repro.analysis.report import Table
+from repro.errors import AnalysisError
+from repro.sim.clock import WEEK
+
+
+def export_table(table: Table, path: str | Path) -> Path:
+    """Write a rendered :class:`Table` as CSV (columns + rows)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.columns)
+        writer.writerows(table.rows)
+    return target
+
+
+def export_series(path: str | Path, header: list[str],
+                  rows: list[list]) -> Path:
+    """Write a generic series as CSV."""
+    if not header:
+        raise AnalysisError("CSV export needs a header")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return target
+
+
+def export_figures(analysis: CorpusAnalysis, directory: str | Path) \
+        -> list[Path]:
+    """Export the plot-ready figure series to ``directory``.
+
+    Covers the time-series figures (3, 4, 9, 10, 11); matrix-style
+    figures (12/13 nibble plots) are better consumed via their result
+    objects directly.
+    """
+    base = Path(directory)
+    written: list[Path] = []
+
+    f3 = fig3(analysis)
+    written.append(export_series(
+        base / "fig3_new_source_prefixes.csv", ["day", "new_prefixes"],
+        [[day, count] for day, count in enumerate(f3.daily_new)]))
+
+    f4 = fig4(analysis)
+    names = sorted(f4.series)
+    written.append(export_series(
+        base / "fig4_growth.csv", ["week", *names],
+        [[week, *[f4.series[name][i] for name in names]]
+         for i, week in enumerate(f4.weeks)]))
+
+    f9 = fig9(analysis)
+    scopes = sorted(f9.weekly)
+    weeks = len(next(iter(f9.weekly.values())))
+    written.append(export_series(
+        base / "fig9_weekly_sessions.csv", ["week", *scopes],
+        [[week, *[f9.weekly[scope][week] for scope in scopes]]
+         for week in range(weeks)]))
+
+    f10 = fig10(analysis)
+    written.append(export_series(
+        base / "fig10_sessions_per_prefix.csv",
+        ["prefix", *[f"cycle_{i}" for i in f10.cycle_indices]],
+        [[str(prefix), *series]
+         for prefix, series in sorted(f10.cumulative.items())]))
+
+    f11 = fig11(analysis)
+    written.append(export_series(
+        base / "fig11_biweekly.csv",
+        ["cycle", "t1_sources", "t1_sessions", "rest_sources",
+         "rest_sessions"],
+        [[a.cycle_index, a.sources, a.sessions, b.sources, b.sessions]
+         for a, b in zip(f11.t1, f11.others)]))
+    return written

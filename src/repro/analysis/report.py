@@ -1,0 +1,57 @@
+"""Plain-text report rendering helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+
+
+def format_count(value: int) -> str:
+    """Thousands-separated count, e.g. ``33,889,898``."""
+    return f"{value:,}"
+
+def format_share(value: float, digits: int = 1) -> str:
+    """Percentage with fixed digits, e.g. ``66.2``."""
+    return f"{100 * value:.{digits}f}"
+
+
+@dataclass
+class Table:
+    """A minimal column-aligned text table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise AnalysisError(
+                f"row width {len(cells)} != {len(self.columns)} columns")
+        self.rows.append([str(c) for c in cells])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i])
+                           for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(widths[i]) if i else
+                                   cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def cell(self, row: int, column: str) -> str:
+        """Access a cell by row index and column name (for tests)."""
+        return self.rows[row][self.columns.index(column)]

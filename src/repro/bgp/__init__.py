@@ -1,0 +1,49 @@
+"""BGP control-plane substrate.
+
+The paper ran its own autonomous system with FRR, an IXP and upstream
+providers, and steered scanner-visible BGP signals by announcing and
+withdrawing IPv6 prefixes. This subpackage simulates that control plane:
+
+- :mod:`repro.bgp.topology` — a multi-tier AS-level topology.
+- :mod:`repro.bgp.speaker` — path-vector BGP speakers with Gao-Rexford
+  export policies and per-hop propagation delay.
+- :mod:`repro.bgp.rib` — routes and routing information bases.
+- :mod:`repro.bgp.policy` — IRR route6 objects and optional upstream
+  filtering.
+- :mod:`repro.bgp.collector` — a RIS-like route collector feed that
+  BGP-reactive scanners subscribe to.
+- :mod:`repro.bgp.controller` — the bi-weekly asymmetric prefix-split
+  announcement schedule of the paper's T1 experiment (Fig. 2).
+- :mod:`repro.bgp.lookingglass` — visibility checks akin to the authors'
+  looking-glass/RIPEstat confirmation step.
+"""
+
+from repro.bgp.collector import CollectorEntry, RouteCollector
+from repro.bgp.controller import AnnouncementCycle, SplitController, build_split_schedule
+from repro.bgp.lookingglass import LookingGlass
+from repro.bgp.messages import Announcement, UpdateKind, Withdrawal
+from repro.bgp.policy import IrrDatabase, Route6Object
+from repro.bgp.rib import LocRib, Route
+from repro.bgp.speaker import BGPNetwork, BGPSpeaker
+from repro.bgp.topology import ASRelationship, ASTopology, build_topology
+
+__all__ = [
+    "Announcement",
+    "Withdrawal",
+    "UpdateKind",
+    "Route",
+    "LocRib",
+    "BGPSpeaker",
+    "BGPNetwork",
+    "ASTopology",
+    "ASRelationship",
+    "build_topology",
+    "IrrDatabase",
+    "Route6Object",
+    "RouteCollector",
+    "CollectorEntry",
+    "LookingGlass",
+    "SplitController",
+    "AnnouncementCycle",
+    "build_split_schedule",
+]

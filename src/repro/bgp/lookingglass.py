@@ -1,0 +1,75 @@
+"""Looking-glass visibility checks.
+
+The authors confirmed announcement visibility via a public looking glass
+(Telia) and RIPEstat. Our looking glass queries the Loc-RIBs of a chosen
+vantage set, which is exactly what those services do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.speaker import BGPNetwork
+from repro.errors import RoutingError
+from repro.net.prefix import Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class VisibilityReport:
+    """Result of a looking-glass query for one prefix."""
+
+    prefix: Prefix
+    vantages_total: int
+    vantages_with_route: int
+    as_paths: tuple[tuple[int, ...], ...]
+
+    @property
+    def visible(self) -> bool:
+        """Visible = a majority of vantages carry the route."""
+        if self.vantages_total == 0:
+            return False
+        return self.vantages_with_route * 2 > self.vantages_total
+
+
+class LookingGlass:
+    """Queries route visibility from a fixed set of vantage ASes."""
+
+    def __init__(self, network: BGPNetwork,
+                 vantages: list[int] | None = None) -> None:
+        self._network = network
+        if vantages is None:
+            vantages = [asn for asn, info in network.topology.info.items()
+                        if info.tier == 1]
+        if not vantages:
+            raise RoutingError("looking glass needs at least one vantage AS")
+        for asn in vantages:
+            network.speaker(asn)  # raises for unknown ASes
+        self._vantages = sorted(vantages)
+
+    @property
+    def vantages(self) -> list[int]:
+        return list(self._vantages)
+
+    def query(self, prefix: Prefix) -> VisibilityReport:
+        """Check which vantages hold an exact route to ``prefix``."""
+        paths = []
+        with_route = 0
+        for asn in self._vantages:
+            speaker = self._network.speaker(asn)
+            route = speaker.loc_rib.best(prefix)
+            if route is None and prefix in speaker.originated:
+                route_path: tuple[int, ...] | None = (asn,)
+            elif route is not None:
+                route_path = route.as_path
+            else:
+                route_path = None
+            if route_path is not None:
+                with_route += 1
+                paths.append(route_path)
+        return VisibilityReport(prefix=prefix,
+                                vantages_total=len(self._vantages),
+                                vantages_with_route=with_route,
+                                as_paths=tuple(paths))
+
+    def is_visible(self, prefix: Prefix) -> bool:
+        return self.query(prefix).visible

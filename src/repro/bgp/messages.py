@@ -1,0 +1,54 @@
+"""BGP update messages.
+
+Only the attributes the experiment depends on are modeled: NLRI (one prefix
+per message), the AS path, and the sending neighbor. MED/communities/etc.
+are irrelevant to prefix visibility and omitted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.net.prefix import Prefix
+
+
+class UpdateKind(enum.Enum):
+    """Whether an update announces or withdraws reachability."""
+
+    ANNOUNCE = "announce"
+    WITHDRAW = "withdraw"
+
+
+@dataclass(frozen=True, slots=True)
+class Announcement:
+    """Reachability announcement for ``prefix`` via ``as_path``.
+
+    ``as_path[0]`` is the sending neighbor, ``as_path[-1]`` the origin AS.
+    """
+
+    prefix: Prefix
+    as_path: tuple[int, ...]
+
+    @property
+    def origin(self) -> int:
+        return self.as_path[-1]
+
+    @property
+    def kind(self) -> UpdateKind:
+        return UpdateKind.ANNOUNCE
+
+    def contains_loop(self, asn: int) -> bool:
+        """AS-path loop check used by receivers to drop their own routes."""
+        return asn in self.as_path
+
+
+@dataclass(frozen=True, slots=True)
+class Withdrawal:
+    """Withdrawal of reachability for ``prefix`` by the sending neighbor."""
+
+    prefix: Prefix
+
+    @property
+    def kind(self) -> UpdateKind:
+        return UpdateKind.WITHDRAW

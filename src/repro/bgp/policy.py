@@ -1,0 +1,68 @@
+"""IRR database and route6 objects.
+
+§3.2 of the paper: the authors first announced their /32 without a route6
+object, later created one for the non-split /33, and observed no effect on
+scanners. We model the IRR as a registry that speakers *may* consult when
+importing peer routes (``BGPSpeaker.validate_irr``). Prefixes without any
+covering object validate as "not found" (``None``) and are not filtered,
+matching the RPKI-not-found semantics the paper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolicyError
+from repro.net.prefix import Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class Route6Object:
+    """An IRR route6 object binding a prefix to its origin AS."""
+
+    prefix: Prefix
+    origin: int
+    maintainer: str = ""
+
+    def __post_init__(self) -> None:
+        if self.origin <= 0:
+            raise PolicyError(f"invalid origin ASN {self.origin}")
+
+
+class IrrDatabase:
+    """Registry of route6 objects with covering-prefix validation."""
+
+    def __init__(self) -> None:
+        self._objects: dict[Prefix, set[int]] = {}
+        self._created_at: dict[Prefix, float] = {}
+
+    def __len__(self) -> int:
+        return sum(len(origins) for origins in self._objects.values())
+
+    def register(self, obj: Route6Object, time: float = 0.0) -> None:
+        """Add a route6 object (idempotent per (prefix, origin))."""
+        self._objects.setdefault(obj.prefix, set()).add(obj.origin)
+        self._created_at.setdefault(obj.prefix, time)
+
+    def objects_for(self, prefix: Prefix) -> set[int]:
+        """Origins registered exactly for ``prefix``."""
+        return set(self._objects.get(prefix, ()))
+
+    def is_valid(self, prefix: Prefix, origin: int) -> bool | None:
+        """Validate an announcement against the registry.
+
+        Returns:
+            ``True`` if a covering object authorizes ``origin``;
+            ``False`` if covering objects exist but none matches ``origin``;
+            ``None`` ("not found") if no covering object exists at all —
+            such routes are *not* filtered, per the paper's observation.
+        """
+        found_covering = False
+        for registered, origins in self._objects.items():
+            # only an equal-or-less-specific object covers the
+            # announcement; a more-specific object says nothing about it
+            if registered.covers(prefix):
+                found_covering = True
+                if origin in origins:
+                    return True
+        return False if found_covering else None

@@ -1,0 +1,101 @@
+"""Routes and routing information bases.
+
+A speaker keeps one Adj-RIB-In per neighbor (the routes that neighbor
+advertised) and a Loc-RIB (the selected best route per prefix). Selection
+follows the standard Gao-Rexford-compatible decision process:
+
+1. highest local preference (customer > peer > provider routes),
+2. shortest AS path,
+3. lowest neighbor ASN (deterministic tie-break).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+#: Local-preference values by the relationship of the advertising neighbor.
+LOCAL_PREF = {"customer": 300, "peer": 200, "provider": 100}
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """A candidate/selected route in a RIB.
+
+    Attributes:
+        prefix: the NLRI.
+        as_path: path as received (neighbor first, origin last).
+        neighbor: ASN the route was learned from (0 = locally originated).
+        local_pref: preference derived from the neighbor relationship.
+    """
+
+    prefix: Prefix
+    as_path: tuple[int, ...]
+    neighbor: int
+    local_pref: int
+
+    @property
+    def origin(self) -> int:
+        return self.as_path[-1] if self.as_path else self.neighbor
+
+    def preference_key(self) -> tuple[int, int, int]:
+        """Sort key: better routes have *smaller* keys."""
+        return (-self.local_pref, len(self.as_path), self.neighbor)
+
+
+class AdjRibIn:
+    """Routes received from one neighbor, keyed by exact prefix."""
+
+    def __init__(self) -> None:
+        self._routes: dict[Prefix, Route] = {}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def put(self, route: Route) -> None:
+        self._routes[route.prefix] = route
+
+    def remove(self, prefix: Prefix) -> Route | None:
+        return self._routes.pop(prefix, None)
+
+    def get(self, prefix: Prefix) -> Route | None:
+        return self._routes.get(prefix)
+
+    def prefixes(self) -> list[Prefix]:
+        return list(self._routes)
+
+
+class LocRib:
+    """Selected best routes, with longest-prefix data-plane lookup."""
+
+    def __init__(self) -> None:
+        self._trie: PrefixTrie[Route] = PrefixTrie()
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def install(self, route: Route) -> None:
+        self._trie.insert(route.prefix, route)
+
+    def uninstall(self, prefix: Prefix) -> Route | None:
+        try:
+            return self._trie.remove(prefix)
+        except KeyError:
+            return None
+
+    def best(self, prefix: Prefix) -> Route | None:
+        """Exact-match best route for ``prefix``."""
+        return self._trie.get(prefix)
+
+    def resolve(self, addr: int) -> Route | None:
+        """Longest-prefix-match data-plane lookup for an address."""
+        hit = self._trie.longest_match(addr)
+        return hit[1] if hit else None
+
+    def routes(self) -> list[Route]:
+        return [route for _, route in self._trie.items()]
+
+    def prefixes(self) -> list[Prefix]:
+        return [prefix for prefix, _ in self._trie.items()]

@@ -1,0 +1,269 @@
+"""Path-vector BGP speakers and the network fabric connecting them.
+
+Each AS runs one :class:`BGPSpeaker`. Updates travel between speakers as
+simulator events with per-link propagation delays, so announcement
+visibility converges over (simulated) seconds-to-minutes — the signal that
+BGP-reactive scanners in the paper latch onto.
+
+Export policy is Gao-Rexford:
+
+- routes learned from a *customer* are exported to everyone;
+- routes learned from a *peer* or *provider* are exported to customers only;
+- locally originated routes are exported to everyone.
+
+Import policy optionally validates routes against the IRR database
+(:mod:`repro.bgp.policy`), mirroring the route6-object experiment in §3.2.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.bgp.messages import Announcement, Withdrawal
+from repro.bgp.rib import LOCAL_PREF, AdjRibIn, LocRib, Route
+from repro.bgp.topology import ASRelationship, ASTopology
+from repro.errors import RoutingError
+from repro.net.prefix import Prefix
+from repro.sim.events import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bgp.policy import IrrDatabase
+
+#: Listener signature: (time, asn, update) for every accepted update.
+UpdateListener = Callable[[float, int, Announcement | Withdrawal], None]
+
+
+class BGPSpeaker:
+    """The BGP router of a single AS."""
+
+    def __init__(self, asn: int, network: "BGPNetwork") -> None:
+        self.asn = asn
+        self._network = network
+        self.adj_rib_in: dict[int, AdjRibIn] = {}
+        self.loc_rib = LocRib()
+        self._originated: set[Prefix] = set()
+        #: per-prefix set of neighbors currently holding our announcement
+        #: (Adj-RIB-Out); needed to send withdraws when the export set
+        #: shrinks after a best-path change.
+        self._announced_to: dict[Prefix, set[int]] = {}
+        #: when True, routes from peers lacking an IRR route6 object are
+        #: rejected on import (the upstream-validation behavior of §3.2).
+        self.validate_irr = False
+
+    # -- wiring ------------------------------------------------------------
+
+    def add_neighbor(self, asn: int) -> None:
+        self.adj_rib_in.setdefault(asn, AdjRibIn())
+
+    @property
+    def neighbors(self) -> list[int]:
+        return sorted(self.adj_rib_in)
+
+    # -- origination --------------------------------------------------------
+
+    def originate(self, prefix: Prefix) -> None:
+        """Announce ``prefix`` as locally originated."""
+        if prefix in self._originated:
+            return
+        self._originated.add(prefix)
+        route = Route(prefix=prefix, as_path=(self.asn,), neighbor=0,
+                      local_pref=max(LOCAL_PREF.values()) + 100)
+        self.loc_rib.install(route)
+        self._export(route)
+
+    def withdraw_origin(self, prefix: Prefix) -> None:
+        """Withdraw a locally originated prefix."""
+        if prefix not in self._originated:
+            return
+        self._originated.discard(prefix)
+        self.loc_rib.uninstall(prefix)
+        replacement = self._select_best(prefix)
+        if replacement is not None:
+            self.loc_rib.install(replacement)
+            self._export(replacement)
+        else:
+            self._export_withdraw(prefix)
+
+    @property
+    def originated(self) -> set[Prefix]:
+        return set(self._originated)
+
+    # -- update processing ----------------------------------------------------
+
+    def receive(self, neighbor: int, update: Announcement | Withdrawal) -> None:
+        """Process one update from ``neighbor`` (called by the fabric)."""
+        rib_in = self.adj_rib_in.get(neighbor)
+        if rib_in is None:
+            raise RoutingError(f"AS{self.asn}: update from unknown AS{neighbor}")
+        if isinstance(update, Announcement):
+            if update.contains_loop(self.asn):
+                return
+            if not self._import_accepts(neighbor, update):
+                return
+            rel = self._network.topology.relationship(self.asn, neighbor)
+            route = Route(prefix=update.prefix, as_path=update.as_path,
+                          neighbor=neighbor, local_pref=LOCAL_PREF[rel.value])
+            rib_in.put(route)
+            self._reselect(update.prefix)
+        else:
+            removed = rib_in.remove(update.prefix)
+            if removed is not None:
+                self._reselect(update.prefix)
+
+    def _import_accepts(self, neighbor: int,
+                        update: Announcement) -> bool:
+        if not self.validate_irr:
+            return True
+        irr = self._network.irr
+        if irr is None:
+            return True
+        rel = self._network.topology.relationship(self.asn, neighbor)
+        if rel is not ASRelationship.PEER:
+            return True
+        return irr.is_valid(update.prefix, update.origin) is not False
+
+    def _reselect(self, prefix: Prefix) -> None:
+        if prefix in self._originated:
+            return  # own origination always wins
+        old = self.loc_rib.best(prefix)
+        new = self._select_best(prefix)
+        if old == new:
+            return
+        if new is None:
+            self.loc_rib.uninstall(prefix)
+            self._export_withdraw(prefix)
+        else:
+            self.loc_rib.install(new)
+            self._export(new)
+
+    def _select_best(self, prefix: Prefix) -> Route | None:
+        candidates = []
+        for rib_in in self.adj_rib_in.values():
+            route = rib_in.get(prefix)
+            if route is not None:
+                candidates.append(route)
+        if not candidates:
+            return None
+        return min(candidates, key=Route.preference_key)
+
+    # -- export -----------------------------------------------------------------
+
+    def _export_targets(self, route: Route) -> list[int]:
+        topo = self._network.topology
+        if route.neighbor == 0:
+            return self.neighbors
+        rel = topo.relationship(self.asn, route.neighbor)
+        if rel is ASRelationship.CUSTOMER:
+            return [n for n in self.neighbors if n != route.neighbor]
+        return [n for n in self.neighbors
+                if topo.relationship(self.asn, n) is ASRelationship.CUSTOMER]
+
+    def _export(self, route: Route) -> None:
+        if route.neighbor == 0:
+            as_path: tuple[int, ...] = (self.asn,)
+        else:
+            as_path = (self.asn, *route.as_path)
+        update = Announcement(prefix=route.prefix, as_path=as_path)
+        targets = set(self._export_targets(route))
+        previously = self._announced_to.get(route.prefix, set())
+        withdraw = Withdrawal(prefix=route.prefix)
+        for neighbor in sorted(previously - targets):
+            self._network.deliver(self.asn, neighbor, withdraw)
+        for neighbor in sorted(targets):
+            self._network.deliver(self.asn, neighbor, update)
+        self._announced_to[route.prefix] = targets
+        self._network.notify(self.asn, update)
+
+    def _export_withdraw(self, prefix: Prefix) -> None:
+        update = Withdrawal(prefix=prefix)
+        previously = self._announced_to.pop(prefix, set(self.neighbors))
+        for neighbor in sorted(previously):
+            self._network.deliver(self.asn, neighbor, update)
+        self._network.notify(self.asn, update)
+
+    def has_route(self, addr: int) -> bool:
+        """Data-plane reachability check for an address from this AS."""
+        return self.loc_rib.resolve(addr) is not None
+
+
+class BGPNetwork:
+    """Owns all speakers and moves updates between them with delay."""
+
+    def __init__(self, topology: ASTopology, simulator: Simulator,
+                 rng: np.random.Generator,
+                 min_link_delay: float = 1.0,
+                 max_link_delay: float = 15.0,
+                 irr: "IrrDatabase | None" = None) -> None:
+        if min_link_delay <= 0 or max_link_delay < min_link_delay:
+            raise RoutingError("invalid link delay range")
+        self.topology = topology
+        self.simulator = simulator
+        self.irr = irr
+        self._rng = rng
+        self.speakers: dict[int, BGPSpeaker] = {}
+        self._link_delay: dict[tuple[int, int], float] = {}
+        #: last scheduled arrival per directed link; BGP sessions run over
+        #: TCP, so updates must never overtake each other on a link.
+        self._last_arrival: dict[tuple[int, int], float] = {}
+        self._listeners: list[UpdateListener] = []
+        for asn in topology.ases():
+            self.speakers[asn] = BGPSpeaker(asn, self)
+        for a, b in topology.graph.edges:
+            self.speakers[a].add_neighbor(b)
+            self.speakers[b].add_neighbor(a)
+            delay = float(rng.uniform(min_link_delay, max_link_delay))
+            self._link_delay[(a, b)] = delay
+            self._link_delay[(b, a)] = delay
+
+    def speaker(self, asn: int) -> BGPSpeaker:
+        try:
+            return self.speakers[asn]
+        except KeyError:
+            raise RoutingError(f"no speaker for AS{asn}") from None
+
+    def add_listener(self, listener: UpdateListener) -> None:
+        """Register a callback for every exported update (collector tap)."""
+        self._listeners.append(listener)
+
+    def notify(self, asn: int, update: Announcement | Withdrawal) -> None:
+        now = self.simulator.now
+        for listener in self._listeners:
+            listener(now, asn, update)
+
+    def deliver(self, sender: int, receiver: int,
+                update: Announcement | Withdrawal) -> None:
+        """Schedule delivery of ``update`` over the (sender, receiver) link."""
+        delay = self._link_delay.get((sender, receiver))
+        if delay is None:
+            raise RoutingError(f"no link AS{sender}-AS{receiver}")
+        jitter = float(self._rng.uniform(0.0, 1.0))
+        arrival = self.simulator.now + delay + jitter
+        link = (sender, receiver)
+        previous = self._last_arrival.get(link)
+        if previous is not None and arrival <= previous:
+            arrival = previous + 1e-6  # FIFO: never overtake on a link
+        self._last_arrival[link] = arrival
+        self.simulator.schedule_at(
+            arrival,
+            lambda: self.speakers[receiver].receive(sender, update),
+            label=f"bgp:{sender}->{receiver}",
+        )
+
+    def converge(self, settle: float = 600.0) -> None:
+        """Run the simulator forward until in-flight updates settle.
+
+        Convenience for tests and setup phases; production runs advance the
+        simulator through the normal event loop instead.
+        """
+        self.simulator.run_until(self.simulator.now + settle)
+
+    def visibility(self, prefix: Prefix) -> float:
+        """Fraction of ASes whose Loc-RIB holds an exact route to ``prefix``."""
+        if not self.speakers:
+            return 0.0
+        seen = sum(1 for s in self.speakers.values()
+                   if s.loc_rib.best(prefix) is not None
+                   or prefix in s.originated)
+        return seen / len(self.speakers)

@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+Subcommands:
+
+- ``repro schedule`` — print the Fig. 2 announcement plan.
+- ``repro run``      — simulate a campaign and print a summary.
+- ``repro tables``   — simulate (or reuse a seed) and print Tables 2-8.
+- ``repro figures``  — print the figure-data summaries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.context import CorpusAnalysis
+from repro.analysis import figures as figure_module
+from repro.analysis.tables import (table2, table3, table4, table5, table6,
+                                   table7, table8)
+from repro.bgp.controller import build_split_schedule
+from repro.errors import ReproError
+from repro.experiment import ExperimentConfig, run_experiment
+from repro.net.prefix import Prefix
+from repro.sim.clock import WEEK
+from repro.telescope.deployment import T1_PREFIX
+
+FIGURES = ("fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
+           "fig11", "fig12", "fig14", "fig15", "fig16", "fig17")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Detailed Measurement View on IPv6 "
+                    "Scanners and Their Adaption to BGP Signals'")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    schedule = sub.add_parser("schedule",
+                              help="print the Fig. 2 announcement plan")
+    schedule.add_argument("--prefix", default=str(T1_PREFIX),
+                          help="covering prefix to split (default: "
+                               f"{T1_PREFIX})")
+    schedule.add_argument("--cycles", type=int, default=16,
+                          help="number of split cycles (default 16)")
+
+    for name, help_text in (
+            ("run", "simulate a campaign and print a summary"),
+            ("tables", "simulate and print Tables 2-8"),
+            ("figures", "simulate and print figure-data summaries"),
+            ("guidance", "simulate and print the §8 operator guidance"),
+            ("validate", "simulate and score the classifiers against "
+                         "the ground truth"),
+            ("save", "simulate a campaign and save the corpus")):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--seed", type=int, default=42)
+        cmd.add_argument("--scale", type=float, default=0.1,
+                         help="population scale (default 0.1)")
+        if name == "figures":
+            cmd.add_argument("--only", choices=FIGURES, default=None,
+                             help="print a single figure")
+        if name == "save":
+            cmd.add_argument("--out", required=True,
+                             help="output directory for the corpus")
+
+    load = sub.add_parser("load",
+                          help="load a saved corpus and print Tables 2-8")
+    load.add_argument("path", help="corpus directory written by 'save'")
+    return parser
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    prefix = Prefix.parse(args.prefix)
+    schedule = build_split_schedule(prefix, num_cycles=args.cycles)
+    print(f"announcement plan for {prefix} "
+          f"({len(schedule)} cycles):")
+    for cycle in schedule:
+        prefixes = ", ".join(str(p) for p in cycle.prefixes)
+        print(f"  cycle {cycle.index:2d} @ week "
+              f"{cycle.announce_time / WEEK:4.0f}: {prefixes}")
+    return 0
+
+
+def _simulate(args: argparse.Namespace):
+    config = ExperimentConfig(seed=args.seed, scale=args.scale)
+    weeks = config.duration / WEEK
+    print(f"simulating {weeks:.0f} weeks at scale {args.scale} "
+          f"(seed {args.seed}) ...", file=sys.stderr)
+    result = run_experiment(config)
+    print(f"done in {result.wall_seconds:.1f}s: "
+          f"{result.corpus.total_packets():,} packets",
+          file=sys.stderr)
+    return result
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = _simulate(args)
+    corpus = result.corpus
+    for telescope in corpus.telescopes():
+        packets = corpus.packets(telescope)
+        print(f"{telescope}: {len(packets):,} packets, "
+              f"{len({p.src for p in packets}):,} sources, "
+              f"{len({p.src_asn for p in packets if p.src_asn}):,} ASes")
+    return 0
+
+
+def _print_tables(analysis: CorpusAnalysis) -> None:
+    for generator in (table2, table3, table4):
+        print(generator(analysis).table.render())
+        print()
+    result5 = table5(analysis)
+    print(result5.table_a.render())
+    print()
+    print(result5.table_b.render())
+    print()
+    for generator in (table6, table7, table8):
+        print(generator(analysis).table.render())
+        print()
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    result = _simulate(args)
+    _print_tables(CorpusAnalysis(result.corpus))
+    return 0
+
+
+def cmd_guidance(args: argparse.Namespace) -> int:
+    from repro.analysis.bias import bias_report
+    from repro.analysis.guidance import derive_guidance
+    result = _simulate(args)
+    analysis = CorpusAnalysis(result.corpus)
+    print(derive_guidance(analysis).render())
+    print()
+    print(bias_report(analysis).render())
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validation import (EXCUSABLE, validate_network,
+                                           validate_temporal,
+                                           validate_tools)
+    result = _simulate(args)
+    temporal = validate_temporal(result)
+    print(temporal.render("temporal classifier (truth > predicted)"))
+    print(f"  accuracy: {temporal.accuracy():.3f} raw, "
+          f"{temporal.accuracy(excuse=EXCUSABLE):.3f} excusing "
+          "window clipping")
+    network = validate_network(result)
+    print(network.render("network-selection classifier"))
+    print(f"  accuracy: {network.accuracy():.3f}")
+    tools = validate_tools(result)
+    print(tools.render("tool attribution"))
+    print(f"  accuracy: {tools.accuracy():.3f}")
+    return 0
+
+
+def cmd_save(args: argparse.Namespace) -> int:
+    from repro.experiment.store import save_corpus
+    result = _simulate(args)
+    path = save_corpus(result.corpus, args.out)
+    print(f"corpus written to {path}")
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    from repro.experiment.store import load_corpus
+    corpus = load_corpus(args.path)
+    print(f"loaded {corpus.total_packets():,} packets "
+          f"from {args.path}", file=sys.stderr)
+    _print_tables(CorpusAnalysis(corpus))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    result = _simulate(args)
+    analysis = CorpusAnalysis(result.corpus)
+    names = (args.only,) if args.only else FIGURES
+    for name in names:
+        figure = getattr(figure_module, name)
+        print(figure(analysis).render())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "schedule": cmd_schedule,
+        "run": cmd_run,
+        "tables": cmd_tables,
+        "figures": cmd_figures,
+        "guidance": cmd_guidance,
+        "validate": cmd_validate,
+        "save": cmd_save,
+        "load": cmd_load,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,104 @@
+"""Address-selection classification (§5.3).
+
+Per scan session:
+
+- **structured** — targets show a detectable pattern: a strong share of
+  addr6-typed structures (low-byte, embedded-*, pattern, anycast) or an
+  ordered traversal of the target space;
+- **random** — sessions of >= 100 packets whose target bits pass the NIST
+  frequency test at alpha = 0.01;
+- **unknown** — neither.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+
+import numpy as np
+
+from repro.core.nist import ALPHA, bits_from_addresses, frequency_test
+from repro.core.sessions import Session
+from repro.errors import ClassificationError
+from repro.net.addrtypes import AddressType, classify_address
+
+#: Paper filter: statistical testing needs sessions of >= 100 packets.
+MIN_PACKETS_FOR_NIST = 100
+
+#: Share of structured addr6 types that marks a structured session.
+STRUCTURED_SHARE = 0.5
+
+#: Types counted as "structured" address choices.
+_STRUCTURED_TYPES = frozenset((
+    AddressType.LOW_BYTE, AddressType.SUBNET_ANYCAST,
+    AddressType.EMBEDDED_IPV4, AddressType.EMBEDDED_PORT,
+    AddressType.PATTERN_BYTES, AddressType.IEEE_DERIVED,
+    AddressType.ISATAP,
+))
+
+
+class AddressClass(enum.Enum):
+    STRUCTURED = "structured"
+    RANDOM = "random"
+    UNKNOWN = "unknown"
+
+
+def type_histogram(targets: list[int]) -> Counter:
+    """addr6-type histogram of a target list."""
+    histogram: Counter = Counter()
+    for target in targets:
+        histogram[classify_address(target)] += 1
+    return histogram
+
+
+def structured_share(targets: list[int]) -> float:
+    """Fraction of targets with a structured addr6 type."""
+    if not targets:
+        raise ClassificationError("no targets to classify")
+    histogram = type_histogram(targets)
+    structured = sum(count for addr_type, count in histogram.items()
+                     if addr_type in _STRUCTURED_TYPES)
+    return structured / len(targets)
+
+
+def is_ordered_traversal(targets: list[int],
+                         min_monotone_share: float = 0.85) -> bool:
+    """Detect sequential prefix traversal (the Fig. 13 stripe pattern).
+
+    Comparison stays in exact integer arithmetic — 128-bit addresses lose
+    the subnet-granularity differences when cast to float64.
+    """
+    if len(targets) < 4:
+        return False
+    subnets = [t >> 64 for t in targets]
+    # a scan confined to one (or two) subnets is trivially "monotone";
+    # a traversal needs actual movement through the subnet space
+    if len(set(subnets)) < 3:
+        return False
+    non_decreasing = sum(1 for a, b in zip(subnets, subnets[1:]) if b >= a)
+    return non_decreasing / (len(subnets) - 1) >= min_monotone_share
+
+
+def classify_session(session: Session,
+                     telescope_prefix_len: int = 32,
+                     alpha: float = ALPHA) -> AddressClass:
+    """Classify a session's address selection per the paper's method."""
+    targets = session.targets()
+    share = structured_share(targets)
+    if share >= STRUCTURED_SHARE or is_ordered_traversal(targets):
+        return AddressClass.STRUCTURED
+    if len(targets) >= MIN_PACKETS_FOR_NIST:
+        bits = bits_from_addresses(targets, take_bits=64, skip_high=64)
+        if frequency_test(bits) >= alpha:
+            return AddressClass.RANDOM
+    return AddressClass.UNKNOWN
+
+
+def classify_sessions(sessions: list[Session],
+                      telescope_prefix_len: int = 32) \
+        -> dict[AddressClass, int]:
+    """Histogram of address classes over a session list."""
+    histogram = {cls: 0 for cls in AddressClass}
+    for session in sessions:
+        histogram[classify_session(session, telescope_prefix_len)] += 1
+    return histogram

@@ -1,0 +1,89 @@
+"""DBSCAN density-based clustering.
+
+The paper uses DBSCAN twice: to classify network-selection behavior (§5.2)
+and to cluster probe payloads (§5.4). sklearn is unavailable offline, so
+this is a from-scratch implementation over a caller-supplied metric, with a
+fast Euclidean path for numeric data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+#: Label assigned to noise points.
+NOISE = -1
+
+
+def dbscan(points: Sequence, eps: float, min_samples: int,
+           metric: Callable[[object, object], float] | None = None) \
+        -> list[int]:
+    """Cluster ``points``; returns one label per point (-1 = noise).
+
+    With ``metric=None`` points must be numeric vectors (or scalars) and
+    Euclidean distance is used via a vectorized neighborhood query;
+    otherwise ``metric`` is called pairwise.
+    """
+    n = len(points)
+    if n == 0:
+        return []
+    if eps <= 0:
+        raise AnalysisError(f"eps must be > 0, got {eps}")
+    if min_samples < 1:
+        raise AnalysisError(f"min_samples must be >= 1, got {min_samples}")
+
+    if metric is None:
+        data = np.asarray(points, dtype=float)
+        if data.ndim == 1:
+            data = data[:, None]
+
+        def neighbors_of(i: int) -> list[int]:
+            dist = np.sqrt(((data - data[i]) ** 2).sum(axis=1))
+            return list(np.nonzero(dist <= eps)[0])
+    else:
+        def neighbors_of(i: int) -> list[int]:
+            return [j for j in range(n)
+                    if metric(points[i], points[j]) <= eps]
+
+    labels = [None] * n  # type: list[int | None]
+    cluster = 0
+    for i in range(n):
+        if labels[i] is not None:
+            continue
+        neighborhood = neighbors_of(i)
+        if len(neighborhood) < min_samples:
+            labels[i] = NOISE
+            continue
+        labels[i] = cluster
+        queue = [j for j in neighborhood if j != i]
+        while queue:
+            j = queue.pop()
+            if labels[j] == NOISE:
+                labels[j] = cluster  # border point
+            if labels[j] is not None:
+                continue
+            labels[j] = cluster
+            j_neighbors = neighbors_of(j)
+            if len(j_neighbors) >= min_samples:
+                # NOISE neighbors are density-reachable border points and
+                # must be upgraded too, not only unvisited ones
+                queue.extend(k for k in j_neighbors
+                             if labels[k] is None or labels[k] == NOISE)
+        cluster += 1
+    return [NOISE if label is None else label for label in labels]
+
+
+def cluster_sizes(labels: Sequence[int]) -> dict[int, int]:
+    """Histogram of cluster labels (noise included under -1)."""
+    sizes: dict[int, int] = {}
+    for label in labels:
+        sizes[label] = sizes.get(label, 0) + 1
+    return sizes
+
+
+def num_clusters(labels: Sequence[int]) -> int:
+    """Number of proper clusters (noise excluded)."""
+    return len({label for label in labels if label != NOISE})

@@ -1,0 +1,83 @@
+"""Heavy-hitter detection (§4.2).
+
+A heavy hitter is an individual source contributing more than 10% of the
+scan packets at one telescope. The paper found ten across the four
+telescopes; together they carry 73% of all packets but only 0.04% of all
+sessions, which is why the analyses are session-centric.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.sessions import SessionSet
+from repro.errors import AnalysisError
+from repro.telescope.packet import Packet
+
+#: Paper threshold: >10% of one telescope's packets.
+DEFAULT_THRESHOLD = 0.10
+
+
+@dataclass(frozen=True, slots=True)
+class HeavyHitter:
+    """One heavy-hitter source at one telescope."""
+
+    source: int
+    telescope: str
+    packets: int
+    share: float
+
+
+def find_heavy_hitters(packets_by_telescope: dict[str, list[Packet]],
+                       threshold: float = DEFAULT_THRESHOLD) \
+        -> list[HeavyHitter]:
+    """All (source, telescope) pairs above the packet-share threshold."""
+    if not 0 < threshold < 1:
+        raise AnalysisError(f"threshold must be in (0,1), got {threshold}")
+    hitters: list[HeavyHitter] = []
+    for telescope, packets in packets_by_telescope.items():
+        total = len(packets)
+        if total == 0:
+            continue
+        per_source: Counter = Counter(p.src for p in packets)
+        for source, count in per_source.most_common():
+            share = count / total
+            if share <= threshold:
+                break
+            hitters.append(HeavyHitter(source=source, telescope=telescope,
+                                       packets=count, share=share))
+    hitters.sort(key=lambda h: (-h.packets, h.telescope))
+    return hitters
+
+
+@dataclass(frozen=True, slots=True)
+class HeavyHitterImpact:
+    """Aggregate contribution of heavy hitters (the 73% / 0.04% numbers)."""
+
+    num_hitters: int
+    packet_share: float
+    session_share: float
+
+
+def heavy_hitter_impact(packets_by_telescope: dict[str, list[Packet]],
+                        session_sets: dict[str, SessionSet],
+                        threshold: float = DEFAULT_THRESHOLD) \
+        -> HeavyHitterImpact:
+    """Packet vs session share of all heavy hitters combined."""
+    hitters = find_heavy_hitters(packets_by_telescope, threshold)
+    hitter_sources = {h.source for h in hitters}
+    total_packets = sum(len(p) for p in packets_by_telescope.values())
+    total_sessions = sum(len(s) for s in session_sets.values())
+    if total_packets == 0 or total_sessions == 0:
+        raise AnalysisError("empty corpus")
+    hh_packets = sum(
+        1 for packets in packets_by_telescope.values()
+        for p in packets if p.src in hitter_sources)
+    hh_sessions = sum(
+        1 for session_set in session_sets.values()
+        for s in session_set if s.source in hitter_sources)
+    return HeavyHitterImpact(
+        num_hitters=len({(h.source, h.telescope) for h in hitters}),
+        packet_share=hh_packets / total_packets,
+        session_share=hh_sessions / total_sessions)

@@ -1,0 +1,156 @@
+"""NIST SP 800-22 randomness tests (the Appendix B subset).
+
+The paper excludes tests needing >1000 bits or extra parameters, keeping
+four: frequency (monobit), runs, discrete Fourier transform (spectral), and
+cumulative sums (forward/backward). Each test maps a bit sequence to a
+p-value in [0, 1]; p >= 0.01 is treated as "random" (significance
+alpha = 0.01).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import erfc
+from scipy.stats import norm
+
+from repro.errors import AnalysisError
+
+#: The paper's significance level.
+ALPHA = 0.01
+
+#: Minimum input length the paper's session filter guarantees (100 packets
+#: of >= 64 bits each); individual tests have their own minima below.
+MIN_BITS_FREQUENCY = 100
+MIN_BITS_RUNS = 100
+MIN_BITS_FFT = 100
+MIN_BITS_CUSUM = 100
+
+
+def bits_from_addresses(addresses, take_bits: int = 64,
+                        skip_high: int = 0) -> np.ndarray:
+    """Flatten address sections into a bit array.
+
+    For each address, ``skip_high`` most-significant bits are discarded and
+    the following ``take_bits`` bits are appended. Appendix B tests the IID
+    (last 64 bits: ``skip_high=64, take_bits=64``) and the subnet section
+    separately.
+    """
+    if take_bits < 1 or skip_high < 0 or take_bits + skip_high > 128:
+        raise AnalysisError(
+            f"invalid bit section take={take_bits} skip={skip_high}")
+    out = np.empty(len(addresses) * take_bits, dtype=np.int8)
+    pos = 0
+    top = 128 - skip_high
+    for addr in addresses:
+        section = (addr >> (top - take_bits)) & ((1 << take_bits) - 1) \
+            if top >= take_bits else addr & ((1 << take_bits) - 1)
+        for shift in range(take_bits - 1, -1, -1):
+            out[pos] = (section >> shift) & 1
+            pos += 1
+    return out
+
+
+def frequency_test(bits: np.ndarray) -> float:
+    """Monobit frequency test: balance of ones and zeros."""
+    n = len(bits)
+    if n < MIN_BITS_FREQUENCY:
+        raise AnalysisError(f"frequency test needs >= {MIN_BITS_FREQUENCY} "
+                            f"bits, got {n}")
+    s = np.sum(2 * bits.astype(np.int64) - 1)
+    s_obs = abs(int(s)) / math.sqrt(n)
+    return float(erfc(s_obs / math.sqrt(2)))
+
+
+def runs_test(bits: np.ndarray) -> float:
+    """Runs test: oscillation rate between zeros and ones.
+
+    Per SP 800-22 the test presupposes the frequency test passes; when the
+    ones-proportion precondition fails the p-value is 0.0.
+    """
+    n = len(bits)
+    if n < MIN_BITS_RUNS:
+        raise AnalysisError(f"runs test needs >= {MIN_BITS_RUNS} bits")
+    pi = float(np.mean(bits))
+    tau = 2.0 / math.sqrt(n)
+    if abs(pi - 0.5) >= tau:
+        return 0.0
+    v_obs = 1 + int(np.sum(bits[1:] != bits[:-1]))
+    denom = 2.0 * math.sqrt(2.0 * n) * pi * (1.0 - pi)
+    if denom == 0:
+        return 0.0
+    return float(erfc(abs(v_obs - 2.0 * n * pi * (1.0 - pi)) / denom))
+
+
+def fft_test(bits: np.ndarray) -> float:
+    """Discrete Fourier transform (spectral) test: periodic features."""
+    n = len(bits)
+    if n < MIN_BITS_FFT:
+        raise AnalysisError(f"FFT test needs >= {MIN_BITS_FFT} bits")
+    x = 2 * bits.astype(np.float64) - 1
+    spectrum = np.abs(np.fft.fft(x))[: n // 2]
+    threshold = math.sqrt(math.log(1.0 / 0.05) * n)
+    n0 = 0.95 * n / 2.0
+    n1 = float(np.sum(spectrum < threshold))
+    d = (n1 - n0) / math.sqrt(n * 0.95 * 0.05 / 4.0)
+    return float(erfc(abs(d) / math.sqrt(2)))
+
+
+def cusum_test(bits: np.ndarray, forward: bool = True) -> float:
+    """Cumulative sums test (cusum0 forward / cusum1 backward)."""
+    n = len(bits)
+    if n < MIN_BITS_CUSUM:
+        raise AnalysisError(f"cusum test needs >= {MIN_BITS_CUSUM} bits")
+    x = 2 * bits.astype(np.int64) - 1
+    if not forward:
+        x = x[::-1]
+    z = int(np.max(np.abs(np.cumsum(x))))
+    if z == 0:
+        return 0.0
+    sqrt_n = math.sqrt(n)
+    total = 0.0
+    for k in range((-n // z + 1) // 4, (n // z - 1) // 4 + 1):
+        total += (norm.cdf((4 * k + 1) * z / sqrt_n)
+                  - norm.cdf((4 * k - 1) * z / sqrt_n))
+    for k in range((-n // z - 3) // 4, (n // z - 1) // 4 + 1):
+        total -= (norm.cdf((4 * k + 3) * z / sqrt_n)
+                  - norm.cdf((4 * k + 1) * z / sqrt_n))
+    p = 1.0 - total
+    return float(min(max(p, 0.0), 1.0))
+
+
+@dataclass(frozen=True, slots=True)
+class NistResults:
+    """p-values of the Appendix B test battery for one bit sequence."""
+
+    frequency: float
+    runs: float
+    fft: float
+    cusum_forward: float
+    cusum_backward: float
+
+    def passes(self, alpha: float = ALPHA) -> dict[str, bool]:
+        return {
+            "frequency": self.frequency >= alpha,
+            "runs": self.runs >= alpha,
+            "fft": self.fft >= alpha,
+            "cusum0": self.cusum_forward >= alpha,
+            "cusum1": self.cusum_backward >= alpha,
+        }
+
+    def is_random(self, alpha: float = ALPHA) -> bool:
+        """Paper criterion: the frequency test decides randomness (§5.3)."""
+        return self.frequency >= alpha
+
+
+def run_battery(bits: np.ndarray) -> NistResults:
+    """Run all Appendix B tests on one bit sequence."""
+    return NistResults(
+        frequency=frequency_test(bits),
+        runs=runs_test(bits),
+        fft=fft_test(bits),
+        cusum_forward=cusum_test(bits, forward=True),
+        cusum_backward=cusum_test(bits, forward=False),
+    )

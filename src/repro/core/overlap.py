@@ -1,0 +1,101 @@
+"""Cross-telescope overlap analysis (§6 Fig. 8, §7.2 Fig. 16).
+
+Computes the UpSet-style exclusive intersections of source sets (ASNs or
+/128 sources) across the four telescopes, plus the same-day/different-day
+source overlap between the separately announced telescopes T1 and T2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.sim.clock import DAY
+from repro.telescope.packet import Packet
+
+
+@dataclass(frozen=True, slots=True)
+class UpSetData:
+    """Exclusive-intersection layout of one item universe."""
+
+    #: per-telescope (non-exclusive) set sizes
+    set_sizes: dict[str, int]
+    #: exclusive combination -> count, keyed by a sorted tuple of names
+    intersections: dict[tuple[str, ...], int]
+
+    def exclusive(self, *names: str) -> int:
+        """Items seen at exactly the given telescopes."""
+        return self.intersections.get(tuple(sorted(names)), 0)
+
+    def exclusive_share(self, name: str) -> float:
+        """Share of a telescope's items seen only there."""
+        size = self.set_sizes.get(name, 0)
+        if size == 0:
+            return 0.0
+        return self.exclusive(name) / size
+
+
+def upset(sets: dict[str, set]) -> UpSetData:
+    """Exclusive intersections over named sets (UpSet plot data)."""
+    if not sets:
+        raise AnalysisError("upset needs at least one set")
+    names = sorted(sets)
+    intersections: dict[tuple[str, ...], int] = {}
+    for r in range(1, len(names) + 1):
+        for combo in itertools.combinations(names, r):
+            inside = set.intersection(*(sets[n] for n in combo))
+            outside = set().union(*(sets[n] for n in names
+                                    if n not in combo)) if r < len(names) \
+                else set()
+            exclusive = inside - outside
+            if exclusive:
+                intersections[tuple(combo)] = len(exclusive)
+    return UpSetData(
+        set_sizes={n: len(sets[n]) for n in names},
+        intersections=intersections)
+
+
+def sources_everywhere(sets: dict[str, set]) -> set:
+    """Items observed at *every* telescope (§7.2: ten /128 sources)."""
+    if not sets:
+        raise AnalysisError("need at least one set")
+    return set.intersection(*sets.values())
+
+
+@dataclass(frozen=True, slots=True)
+class DayOverlap:
+    """Same-day vs different-day overlap between two telescopes (Fig 16b)."""
+
+    same_day: int
+    different_day: int
+
+    @property
+    def total(self) -> int:
+        return self.same_day + self.different_day
+
+    @property
+    def same_day_share(self) -> float:
+        return self.same_day / self.total if self.total else 0.0
+
+
+def day_overlap(packets_a: list[Packet], packets_b: list[Packet],
+                until: float | None = None) -> DayOverlap:
+    """Overlapping sources between two telescopes, split by day alignment.
+
+    A source counts as *same-day* if it appeared at both telescopes on at
+    least one common calendar day (before ``until`` when given).
+    """
+    def days_per_source(packets: list[Packet]) -> dict[int, set[int]]:
+        days: dict[int, set[int]] = {}
+        for p in packets:
+            if until is not None and p.time >= until:
+                continue
+            days.setdefault(p.src, set()).add(int(p.time // DAY))
+        return days
+
+    days_a = days_per_source(packets_a)
+    days_b = days_per_source(packets_b)
+    shared = set(days_a) & set(days_b)
+    same = sum(1 for src in shared if days_a[src] & days_b[src])
+    return DayOverlap(same_day=same, different_day=len(shared) - same)

@@ -1,0 +1,109 @@
+"""Protocol and port statistics (§4.2, Tables 2 and 4)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.sessions import Session
+from repro.errors import AnalysisError
+from repro.telescope.packet import (Packet, Protocol, is_traceroute_port)
+
+#: Pseudo-port bucketing the whole default traceroute range, as the paper
+#: aggregates "Traceroute¹" into a single Table 4 row.
+TRACEROUTE_BUCKET = -1
+
+
+@dataclass(frozen=True, slots=True)
+class ProtocolStats:
+    """Packets / sessions / sources per transport protocol (Table 2)."""
+
+    packets: dict[Protocol, int]
+    sessions: dict[Protocol, int]
+    sources: dict[Protocol, int]
+    total_packets: int
+    total_sessions: int
+    total_sources: int
+
+    def packet_share(self, protocol: Protocol) -> float:
+        return self.packets.get(protocol, 0) / self.total_packets \
+            if self.total_packets else 0.0
+
+    def session_share(self, protocol: Protocol) -> float:
+        return self.sessions.get(protocol, 0) / self.total_sessions \
+            if self.total_sessions else 0.0
+
+    def source_share(self, protocol: Protocol) -> float:
+        return self.sources.get(protocol, 0) / self.total_sources \
+            if self.total_sources else 0.0
+
+
+def protocol_stats(packets: list[Packet],
+                   sessions: list[Session]) -> ProtocolStats:
+    """Compute the Table 2 statistics.
+
+    Session/source shares may exceed 100% in total because multi-protocol
+    scanners count once per protocol, as in the paper.
+    """
+    if not packets:
+        raise AnalysisError("no packets")
+    packet_counts: dict[Protocol, int] = Counter()
+    for p in packets:
+        packet_counts[p.protocol] += 1
+    session_counts: dict[Protocol, int] = Counter()
+    source_sets: dict[Protocol, set[int]] = {}
+    all_sources: set[int] = set()
+    for session in sessions:
+        protocols = session.protocols()
+        for protocol in protocols:
+            session_counts[protocol] += 1
+            source_sets.setdefault(protocol, set()).add(session.source)
+        all_sources.add(session.source)
+    return ProtocolStats(
+        packets=dict(packet_counts),
+        sessions=dict(session_counts),
+        sources={k: len(v) for k, v in source_sets.items()},
+        total_packets=len(packets),
+        total_sessions=len(sessions),
+        total_sources=len(all_sources))
+
+
+def bucket_port(protocol: Protocol, port: int) -> int:
+    """Collapse UDP traceroute ports into one bucket (Table 4 footnote)."""
+    if protocol is Protocol.UDP and is_traceroute_port(port):
+        return TRACEROUTE_BUCKET
+    return port
+
+
+def top_ports(sessions: list[Session], protocol: Protocol,
+              n: int = 5) -> list[tuple[int, int, float]]:
+    """Top destination ports by session count (Table 4).
+
+    Each port counts once per session in which it occurs. Returns
+    ``(port, session_count, share_of_protocol_sessions)``; the traceroute
+    range appears as :data:`TRACEROUTE_BUCKET`.
+    """
+    port_sessions: Counter = Counter()
+    protocol_sessions = 0
+    for session in sessions:
+        ports = {bucket_port(protocol, p.dst_port)
+                 for p in session.packets if p.protocol is protocol}
+        if not ports:
+            continue
+        protocol_sessions += 1
+        for port in ports:
+            port_sessions[port] += 1
+    if protocol_sessions == 0:
+        return []
+    return [(port, count, count / protocol_sessions)
+            for port, count in port_sessions.most_common(n)]
+
+
+def distinct_ports(sessions: list[Session], protocol: Protocol) -> int:
+    """Number of distinct ports hit at least once (traceroute bucketed)."""
+    seen: set[int] = set()
+    for session in sessions:
+        for p in session.packets:
+            if p.protocol is protocol:
+                seen.add(bucket_port(protocol, p.dst_port))
+    return len(seen)

@@ -1,0 +1,19 @@
+"""DNS substrate.
+
+Models the two DNS-shaped signals of the paper: (i) the single name inside
+T2 that co-exists in IPv4 and appears on the Cisco Umbrella popularity list
+(the "DNS attractor"), and (ii) reverse-DNS entries of scan sources that
+the fingerprinting pipeline resolves (§5.4).
+"""
+
+from repro.dns.resolver import Resolver
+from repro.dns.umbrella import UmbrellaList
+from repro.dns.zone import RecordType, ResourceRecord, Zone
+
+__all__ = [
+    "Zone",
+    "ResourceRecord",
+    "RecordType",
+    "Resolver",
+    "UmbrellaList",
+]

@@ -1,0 +1,55 @@
+"""Cisco-Umbrella-style popularity list.
+
+T2's DNS attractor name "is part of the Cisco Umbrella popularity list"
+(§3.1); popularity-list-driven scanners resolve listed names and probe the
+resulting addresses, which is why 50% of T2's scanners exclusively target
+that one address (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+@dataclass
+class UmbrellaList:
+    """Ranked list of popular DNS names."""
+
+    _ranked: list[str] = field(default_factory=list)
+
+    def add(self, name: str, rank: int | None = None) -> int:
+        """Insert ``name`` at ``rank`` (1-based; append when omitted).
+
+        Returns the final 1-based rank.
+        """
+        if not name:
+            raise ReproError("cannot rank an empty name")
+        name = name.lower()
+        if name in self._ranked:
+            return self._ranked.index(name) + 1
+        if rank is None:
+            self._ranked.append(name)
+            return len(self._ranked)
+        if rank < 1:
+            raise ReproError(f"rank must be >= 1, got {rank}")
+        index = min(rank - 1, len(self._ranked))
+        self._ranked.insert(index, name)
+        return index + 1
+
+    def rank_of(self, name: str) -> int | None:
+        """1-based rank of ``name``, or ``None`` if unlisted."""
+        try:
+            return self._ranked.index(name.lower()) + 1
+        except ValueError:
+            return None
+
+    def top(self, n: int) -> list[str]:
+        return self._ranked[:max(0, n)]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._ranked
+
+    def __len__(self) -> int:
+        return len(self._ranked)

@@ -1,0 +1,96 @@
+"""DNS zones and resource records.
+
+Only the record types the reproduction needs: AAAA (forward names that
+attract scanners), A (the attractor name co-exists in IPv4, §3.1/T2), and
+PTR (reverse entries used to attribute scan sources).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.net.addr import addr_to_int, explode
+
+
+class RecordType(enum.Enum):
+    A = "A"
+    AAAA = "AAAA"
+    PTR = "PTR"
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRecord:
+    """A single DNS record; ``data`` is an address int (A/AAAA) or name."""
+
+    name: str
+    rtype: RecordType
+    data: int | str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("record name must be non-empty")
+        if self.rtype in (RecordType.A, RecordType.AAAA):
+            if not isinstance(self.data, int):
+                raise ReproError(f"{self.rtype.value} record data must be int")
+        elif not isinstance(self.data, str):
+            raise ReproError("PTR record data must be a name")
+
+
+def reverse_name(addr: int | str) -> str:
+    """The ``ip6.arpa`` reverse name of an address."""
+    value = addr_to_int(addr)
+    nibble_text = explode(value).replace(":", "")
+    return ".".join(reversed(nibble_text)) + ".ip6.arpa."
+
+
+@dataclass
+class Zone:
+    """A flat record store keyed by (name, type)."""
+
+    origin: str
+    _records: dict[tuple[str, RecordType], list[ResourceRecord]] = field(
+        default_factory=dict)
+
+    def add(self, record: ResourceRecord) -> None:
+        key = (record.name.lower(), record.rtype)
+        bucket = self._records.setdefault(key, [])
+        if record not in bucket:
+            bucket.append(record)
+
+    def add_aaaa(self, name: str, addr: int | str) -> ResourceRecord:
+        record = ResourceRecord(name=name, rtype=RecordType.AAAA,
+                                data=addr_to_int(addr))
+        self.add(record)
+        return record
+
+    def add_ptr(self, addr: int | str, target: str) -> ResourceRecord:
+        record = ResourceRecord(name=reverse_name(addr), rtype=RecordType.PTR,
+                                data=target)
+        self.add(record)
+        return record
+
+    def lookup(self, name: str, rtype: RecordType) -> list[ResourceRecord]:
+        return list(self._records.get((name.lower(), rtype), ()))
+
+    def names(self, rtype: RecordType | None = None) -> list[str]:
+        seen = []
+        for (name, rt), _ in self._records.items():
+            if rtype is None or rt is rtype:
+                if name not in seen:
+                    seen.append(name)
+        return seen
+
+    def aaaa_addresses(self) -> set[int]:
+        """All addresses exposed via AAAA records in this zone."""
+        addresses: set[int] = set()
+        for (_, rtype), bucket in self._records.items():
+            if rtype is RecordType.AAAA:
+                for record in bucket:
+                    assert isinstance(record.data, int)
+                    addresses.add(record.data)
+        return addresses
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._records.values())

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class AddressError(ReproError, ValueError):
+    """An IPv6 address or prefix string/value is malformed or out of range."""
+
+
+class PrefixError(AddressError):
+    """A prefix operation is invalid (bad length, split of a /128, ...)."""
+
+
+class RoutingError(ReproError):
+    """A BGP routing operation failed (unknown peer, invalid update, ...)."""
+
+
+class PolicyError(RoutingError):
+    """A BGP policy configuration or IRR database operation is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was driven into an invalid state."""
+
+
+class ExperimentError(ReproError):
+    """Experiment configuration or orchestration is inconsistent."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was invoked on unsuitable data (e.g. empty corpus)."""
+
+
+class ClassificationError(AnalysisError):
+    """A classifier could not be applied to the given sessions."""

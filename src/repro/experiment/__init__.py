@@ -1,0 +1,21 @@
+"""Experiment orchestration.
+
+Drives the full eleven-month measurement: builds the deployment and the
+calibrated population, runs the discrete-event simulation, and packages the
+captured packets into a :class:`repro.experiment.corpus.PacketCorpus` that
+all analyses consume.
+"""
+
+from repro.experiment.config import ExperimentConfig
+from repro.experiment.corpus import PacketCorpus
+from repro.experiment.driver import ExperimentResult, run_experiment
+from repro.experiment.phases import Phase, phase_bounds
+
+__all__ = [
+    "ExperimentConfig",
+    "run_experiment",
+    "ExperimentResult",
+    "PacketCorpus",
+    "Phase",
+    "phase_bounds",
+]

@@ -1,0 +1,105 @@
+"""The packet corpus: everything an analysis needs from one run.
+
+The corpus exposes the captured packets per telescope together with the
+lookup services the paper's pipeline uses (IP-to-AS, RDNS, announcement
+schedule) — but *not* the generative ground truth, which lives separately
+in :class:`repro.experiment.driver.ExperimentResult` for validation tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.bgp.controller import AnnouncementCycle
+from repro.dns.resolver import Resolver
+from repro.errors import AnalysisError
+from repro.experiment.config import ExperimentConfig
+from repro.experiment.phases import Phase, phase_bounds
+from repro.net.prefix import Prefix
+from repro.scanners.registry import ASRegistry
+from repro.telescope.packet import Packet
+
+TELESCOPE_NAMES = ("T1", "T2", "T3", "T4")
+
+
+@dataclass
+class PacketCorpus:
+    """Captured packets plus metadata lookups."""
+
+    config: ExperimentConfig
+    packets_by_telescope: dict[str, list[Packet]]
+    schedule: list[AnnouncementCycle]
+    registry: ASRegistry
+    resolver: Resolver
+    t1_prefix: Prefix
+    t2_prefix: Prefix
+    t3_prefix: Prefix
+    t4_prefix: Prefix
+    attractor_addr: int = 0
+    _phase_cache: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in TELESCOPE_NAMES:
+            if name not in self.packets_by_telescope:
+                raise AnalysisError(f"corpus missing telescope {name}")
+
+    # -- access ------------------------------------------------------------
+
+    def telescopes(self) -> tuple[str, ...]:
+        return TELESCOPE_NAMES
+
+    def packets(self, telescope: str) -> list[Packet]:
+        try:
+            return self.packets_by_telescope[telescope]
+        except KeyError:
+            raise AnalysisError(f"unknown telescope {telescope!r}") from None
+
+    def all_packets(self) -> Iterator[Packet]:
+        for name in TELESCOPE_NAMES:
+            yield from self.packets_by_telescope[name]
+
+    def total_packets(self) -> int:
+        return sum(len(p) for p in self.packets_by_telescope.values())
+
+    def phase_packets(self, telescope: str, phase: Phase) -> list[Packet]:
+        """Packets of a telescope inside an observation phase (cached)."""
+        key = (telescope, phase)
+        if key not in self._phase_cache:
+            start, end = phase_bounds(self.config, phase)
+            self._phase_cache[key] = [
+                p for p in self.packets(telescope) if start <= p.time < end]
+        return self._phase_cache[key]
+
+    # -- schedule helpers ------------------------------------------------------
+
+    def cycle_at(self, time: float) -> AnnouncementCycle | None:
+        for cycle in self.schedule:
+            if cycle.announce_time <= time < cycle.withdraw_time:
+                return cycle
+        return None
+
+    def split_cycles(self) -> list[AnnouncementCycle]:
+        return [c for c in self.schedule if c.index > 0]
+
+    def most_specific_announced(self, dst: int,
+                                time: float) -> Prefix | None:
+        """The most-specific announced T1 prefix covering ``dst`` then."""
+        cycle = self.cycle_at(time)
+        if cycle is None:
+            return None
+        best: Prefix | None = None
+        for prefix in cycle.prefixes:
+            if prefix.contains_address(dst):
+                if best is None or prefix.length > best.length:
+                    best = prefix
+        return best
+
+    # -- source metadata -----------------------------------------------------------
+
+    def source_asn(self, packet: Packet) -> int:
+        return packet.src_asn
+
+    def rdns(self, src: int) -> str | None:
+        """Reverse-DNS lookup for a source address."""
+        return self.resolver.reverse(src)

@@ -1,0 +1,121 @@
+"""Experiment driver: build, run, collect.
+
+``run_experiment(config)`` performs the whole measurement campaign:
+
+1. build the deployment (§3: BGP fabric, telescopes, collector, hitlist),
+2. build the calibrated scanner population,
+3. register RDNS entries for fixed-source scanners,
+4. schedule every scanner and run the simulator to the horizon,
+5. package the captures into a :class:`PacketCorpus`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+
+from repro.experiment.config import ExperimentConfig
+from repro.experiment.corpus import PacketCorpus
+from repro.scanners.base import Scanner, ScannerContext, SourceModel
+from repro.scanners.population import (PopulationInputs, build_population)
+from repro.scanners.registry import ASRegistry
+from repro.sim.rng import RngStreams
+from repro.telescope.deployment import (Deployment, T1_PREFIX, T2_PREFIX,
+                                        T3_PREFIX, T4_PREFIX,
+                                        build_deployment)
+
+
+@dataclass
+class ExperimentResult:
+    """Corpus plus ground truth and infrastructure handles."""
+
+    corpus: PacketCorpus
+    deployment: Deployment
+    population: list[Scanner]
+    context: ScannerContext
+    wall_seconds: float
+
+    def scanner_by_id(self, scanner_id: int) -> Scanner | None:
+        for scanner in self.population:
+            if scanner.scanner_id == scanner_id:
+                return scanner
+        return None
+
+    def ground_truth_temporal(self) -> dict[int, str]:
+        """scanner_id -> generative temporal kind (validation only)."""
+        return {s.scanner_id: s.temporal.kind.value for s in self.population}
+
+    def ground_truth_network(self) -> dict[int, str]:
+        return {s.scanner_id: s.truth_network_class
+                for s in self.population if s.truth_network_class}
+
+
+def run_experiment(config: ExperimentConfig | None = None,
+                   registry: ASRegistry | None = None) -> ExperimentResult:
+    """Run one full measurement campaign and return its result."""
+    started = _time.monotonic()
+    if config is None:
+        config = ExperimentConfig()
+    streams = RngStreams(config.seed)
+    deployment = build_deployment(
+        streams,
+        baseline_weeks=config.baseline_weeks,
+        cycle_weeks=config.cycle_weeks,
+        num_cycles=config.num_cycles,
+        num_tier1=config.num_tier1,
+        num_tier2=config.num_tier2,
+        num_stubs=config.num_stubs,
+        feed_delay=config.feed_delay)
+    if registry is None:
+        registry = ASRegistry()
+
+    inputs = PopulationInputs(
+        schedule=deployment.cycles(),
+        announced=lambda: deployment.announced_t1_prefixes(),
+        t1_prefix=T1_PREFIX,
+        t2_prefix=T2_PREFIX,
+        t3_prefix=T3_PREFIX,
+        t4_prefix=T4_PREFIX,
+        attractor_addr=deployment.productive.attractor_addr,
+        duration=config.duration)
+    population = build_population(config.population, inputs, registry,
+                                  streams)
+
+    context = ScannerContext(
+        simulator=deployment.simulator,
+        route=deployment.route,
+        collector=deployment.collector,
+        window_start=0.0,
+        window_end=config.duration)
+
+    for scanner in population:
+        _register_rdns(deployment, scanner)
+        scanner.start(context)
+
+    deployment.simulator.run_until(config.duration)
+
+    corpus = PacketCorpus(
+        config=config,
+        packets_by_telescope={
+            name: telescope.capture.packets()
+            for name, telescope in deployment.telescopes.items()},
+        schedule=deployment.cycles(),
+        registry=registry,
+        resolver=deployment.resolver,
+        t1_prefix=T1_PREFIX,
+        t2_prefix=T2_PREFIX,
+        t3_prefix=T3_PREFIX,
+        t4_prefix=T4_PREFIX,
+        attractor_addr=deployment.productive.attractor_addr)
+    return ExperimentResult(
+        corpus=corpus, deployment=deployment, population=population,
+        context=context, wall_seconds=_time.monotonic() - started)
+
+
+def _register_rdns(deployment: Deployment, scanner: Scanner) -> None:
+    """Publish the scanner's PTR record if it advertises one."""
+    if not scanner.rdns_name:
+        return
+    if scanner.source_model is not SourceModel.FIXED:
+        return  # rotating sources have no stable reverse entry
+    deployment.rdns_zone.add_ptr(scanner.source_address(), scanner.rdns_name)

@@ -1,0 +1,215 @@
+"""Corpus persistence.
+
+Saves a :class:`PacketCorpus` to a directory and loads it back, so
+analyses can run on a previously simulated (or externally produced)
+capture without re-running the simulation:
+
+- ``meta.json`` — config, announcement schedule, AS registry records,
+  RDNS entries, telescope prefixes;
+- ``packets_<T>.npz`` — columnar packet arrays per telescope (128-bit
+  addresses as two uint64 halves; payloads as one concatenated blob with
+  offsets).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.bgp.controller import AnnouncementCycle
+from repro.dns.resolver import Resolver
+from repro.dns.zone import Zone
+from repro.errors import AnalysisError
+from repro.experiment.config import ExperimentConfig
+from repro.experiment.corpus import PacketCorpus, TELESCOPE_NAMES
+from repro.net.prefix import Prefix
+from repro.scanners.registry import ASRecord, ASRegistry, NetworkType
+from repro.telescope.packet import Packet, Protocol
+
+FORMAT_VERSION = 1
+
+_MASK64 = (1 << 64) - 1
+
+
+def _split_addr(value: int) -> tuple[int, int]:
+    return value >> 64, value & _MASK64
+
+
+def _join_addr(high: int, low: int) -> int:
+    return (int(high) << 64) | int(low)
+
+
+def save_corpus(corpus: PacketCorpus, path: str | Path) -> Path:
+    """Write ``corpus`` to directory ``path`` (created if missing)."""
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    for telescope in TELESCOPE_NAMES:
+        packets = corpus.packets(telescope)
+        n = len(packets)
+        time = np.empty(n, dtype=np.float64)
+        src_hi = np.empty(n, dtype=np.uint64)
+        src_lo = np.empty(n, dtype=np.uint64)
+        dst_hi = np.empty(n, dtype=np.uint64)
+        dst_lo = np.empty(n, dtype=np.uint64)
+        proto = np.empty(n, dtype=np.uint8)
+        port = np.empty(n, dtype=np.uint16)
+        asn = np.empty(n, dtype=np.uint32)
+        scanner = np.empty(n, dtype=np.int64)
+        payload_offsets = np.zeros(n + 1, dtype=np.int64)
+        blobs = []
+        blob_len = 0
+        for i, p in enumerate(packets):
+            time[i] = p.time
+            src_hi[i], src_lo[i] = _split_addr(p.src)
+            dst_hi[i], dst_lo[i] = _split_addr(p.dst)
+            proto[i] = int(p.protocol)
+            port[i] = p.dst_port
+            asn[i] = p.src_asn
+            scanner[i] = p.scanner_id
+            if p.payload:
+                blobs.append(p.payload)
+                blob_len += len(p.payload)
+            payload_offsets[i + 1] = blob_len
+        blob = np.frombuffer(b"".join(blobs), dtype=np.uint8) \
+            if blobs else np.empty(0, dtype=np.uint8)
+        np.savez_compressed(
+            directory / f"packets_{telescope}.npz",
+            time=time, src_hi=src_hi, src_lo=src_lo, dst_hi=dst_hi,
+            dst_lo=dst_lo, proto=proto, port=port, asn=asn,
+            scanner=scanner, payload_offsets=payload_offsets,
+            payload_blob=blob)
+
+    # the resolver only answers point queries, so RDNS entries are
+    # persisted for every observed source address
+    rdns: dict[str, str] = {}
+    for telescope in TELESCOPE_NAMES:
+        for src in {p.src for p in corpus.packets(telescope)}:
+            name = corpus.rdns(src)
+            if name:
+                rdns[str(src)] = name
+
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "config": {
+            "seed": corpus.config.seed,
+            "scale": corpus.config.scale,
+            "baseline_weeks": corpus.config.baseline_weeks,
+            "cycle_weeks": corpus.config.cycle_weeks,
+            "num_cycles": corpus.config.num_cycles,
+            "num_tier1": corpus.config.num_tier1,
+            "num_tier2": corpus.config.num_tier2,
+            "num_stubs": corpus.config.num_stubs,
+            "feed_delay": corpus.config.feed_delay,
+        },
+        "schedule": [
+            {
+                "index": cycle.index,
+                "announce_time": cycle.announce_time,
+                "withdraw_time": cycle.withdraw_time,
+                "prefixes": [str(p) for p in cycle.prefixes],
+                "new_prefixes": [str(p) for p in cycle.new_prefixes],
+            }
+            for cycle in corpus.schedule
+        ],
+        "registry": [
+            {
+                "asn": record.asn,
+                "network_type": record.network_type.value,
+                "country": record.country,
+                "name": record.name,
+                "rdns_domain": record.rdns_domain,
+            }
+            for record in corpus.registry.records()
+        ],
+        "rdns": rdns,
+        "prefixes": {
+            "t1": str(corpus.t1_prefix),
+            "t2": str(corpus.t2_prefix),
+            "t3": str(corpus.t3_prefix),
+            "t4": str(corpus.t4_prefix),
+        },
+        "attractor_addr": str(corpus.attractor_addr),
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=1))
+    return directory
+
+
+def load_corpus(path: str | Path) -> PacketCorpus:
+    """Load a corpus previously written by :func:`save_corpus`."""
+    directory = Path(path)
+    meta_path = directory / "meta.json"
+    if not meta_path.exists():
+        raise AnalysisError(f"no corpus at {directory} (missing meta.json)")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise AnalysisError(
+            f"unsupported corpus format {meta.get('format_version')!r}")
+
+    config = ExperimentConfig(**meta["config"])
+    schedule = [
+        AnnouncementCycle(
+            index=entry["index"],
+            announce_time=entry["announce_time"],
+            withdraw_time=entry["withdraw_time"],
+            prefixes=tuple(Prefix.parse(p) for p in entry["prefixes"]),
+            new_prefixes=tuple(Prefix.parse(p)
+                               for p in entry["new_prefixes"]))
+        for entry in meta["schedule"]
+    ]
+    from repro.scanners.registry import source_prefix_for_asn
+    records = [
+        ASRecord(asn=entry["asn"],
+                 network_type=NetworkType(entry["network_type"]),
+                 country=entry["country"], name=entry["name"],
+                 source_prefix=source_prefix_for_asn(entry["asn"]),
+                 rdns_domain=entry["rdns_domain"])
+        for entry in meta["registry"]
+    ]
+    registry = ASRegistry.restore(records)
+
+    rdns_zone = Zone(origin="rdns.")
+    for src_text, name in meta["rdns"].items():
+        rdns_zone.add_ptr(int(src_text), name)
+    resolver = Resolver([rdns_zone])
+
+    packets_by_telescope: dict[str, list[Packet]] = {}
+    for telescope in TELESCOPE_NAMES:
+        with np.load(directory / f"packets_{telescope}.npz") as data:
+            # materialize every column once — indexing the lazy npz
+            # members re-decompresses the whole array per access
+            time = data["time"]
+            src_hi, src_lo = data["src_hi"], data["src_lo"]
+            dst_hi, dst_lo = data["dst_hi"], data["dst_lo"]
+            proto, port = data["proto"], data["port"]
+            asn, scanner = data["asn"], data["scanner"]
+            blob = data["payload_blob"].tobytes()
+            offsets = data["payload_offsets"]
+            packets = []
+            for i in range(len(time)):
+                lo, hi = int(offsets[i]), int(offsets[i + 1])
+                payload = blob[lo:hi] if hi > lo else None
+                packets.append(Packet(
+                    time=float(time[i]),
+                    src=_join_addr(src_hi[i], src_lo[i]),
+                    dst=_join_addr(dst_hi[i], dst_lo[i]),
+                    protocol=Protocol(int(proto[i])),
+                    dst_port=int(port[i]),
+                    payload=payload,
+                    src_asn=int(asn[i]),
+                    scanner_id=int(scanner[i])))
+            packets_by_telescope[telescope] = packets
+
+    return PacketCorpus(
+        config=config,
+        packets_by_telescope=packets_by_telescope,
+        schedule=schedule,
+        registry=registry,
+        resolver=resolver,
+        t1_prefix=Prefix.parse(meta["prefixes"]["t1"]),
+        t2_prefix=Prefix.parse(meta["prefixes"]["t2"]),
+        t3_prefix=Prefix.parse(meta["prefixes"]["t3"]),
+        t4_prefix=Prefix.parse(meta["prefixes"]["t4"]),
+        attractor_addr=int(meta["attractor_addr"]))

@@ -1,0 +1,11 @@
+"""TUM-hitlist-like publication pipeline.
+
+The TUM IPv6 hitlist service publishes responsive addresses and
+(non-)aliased prefixes. The paper tracks when its telescope prefixes appear
+on the list (T1's /32 showed up 5 days after announcement) and finds that
+hitlist presence has no noticeable effect on BGP-reactive scanners (§7.2).
+"""
+
+from repro.hitlist.service import HitlistEntry, HitlistService
+
+__all__ = ["HitlistService", "HitlistEntry"]

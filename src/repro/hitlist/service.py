@@ -1,0 +1,97 @@
+"""The hitlist service: delayed publication of observed prefixes.
+
+The simulated service watches the route-collector feed (that is how the
+real hitlist pipeline discovers newly routed space) and publishes each
+newly seen prefix after a configurable delay — five days by default,
+matching the paper's observation for T1's /32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.collector import CollectorEntry, RouteCollector
+from repro.bgp.messages import UpdateKind
+from repro.errors import ExperimentError
+from repro.net.prefix import Prefix
+from repro.sim.clock import DAY
+from repro.sim.events import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class HitlistEntry:
+    """One published hitlist line."""
+
+    prefix: Prefix
+    published_at: float
+    aliased: bool = False
+
+
+@dataclass
+class HitlistService:
+    """Publishes prefixes observed in BGP after ``publication_delay``.
+
+    Attributes:
+        publication_delay: seconds between first BGP observation and
+            publication (default five days, §3.2).
+    """
+
+    simulator: Simulator
+    publication_delay: float = 5 * DAY
+    entries: dict[Prefix, HitlistEntry] = field(default_factory=dict)
+    _pending: set[Prefix] = field(default_factory=set)
+
+    def attach(self, collector: RouteCollector) -> None:
+        """Subscribe to a route-collector feed for prefix discovery."""
+        collector.subscribe(self._on_feed)
+
+    def seed(self, prefix: Prefix, aliased: bool = False,
+             published_at: float = 0.0) -> None:
+        """Pre-populate an entry (prefixes already listed before t=0).
+
+        T2 and the /29 covering T3/T4 were on the hitlist before the
+        experiment started.
+        """
+        self.entries[prefix] = HitlistEntry(prefix=prefix, aliased=aliased,
+                                            published_at=published_at)
+
+    def _on_feed(self, time: float, entry: CollectorEntry) -> None:
+        if entry.kind is not UpdateKind.ANNOUNCE:
+            return
+        prefix = entry.prefix
+        if prefix in self.entries or prefix in self._pending:
+            return
+        self._pending.add(prefix)
+        self.simulator.schedule_in(
+            self.publication_delay,
+            lambda: self._publish(prefix),
+            label=f"hitlist:publish:{prefix}",
+        )
+
+    def _publish(self, prefix: Prefix) -> None:
+        self._pending.discard(prefix)
+        self.entries[prefix] = HitlistEntry(
+            prefix=prefix, published_at=self.simulator.now)
+
+    # -- consumer interface -------------------------------------------------
+
+    def published(self, at: float | None = None) -> list[HitlistEntry]:
+        """Entries visible at time ``at`` (default: now)."""
+        cutoff = self.simulator.now if at is None else at
+        return [e for e in self.entries.values() if e.published_at <= cutoff]
+
+    def non_aliased_prefixes(self, at: float | None = None) -> list[Prefix]:
+        return [e.prefix for e in self.published(at) if not e.aliased]
+
+    def first_published(self, prefix: Prefix) -> float | None:
+        """Publication time of ``prefix``, or ``None`` if never published."""
+        entry = self.entries.get(prefix)
+        return entry.published_at if entry is not None else None
+
+    def publication_lag(self, prefix: Prefix,
+                        announced_at: float) -> float:
+        """Days between announcement and hitlist publication (§3.2: ~5)."""
+        published = self.first_published(prefix)
+        if published is None:
+            raise ExperimentError(f"{prefix} never appeared on the hitlist")
+        return (published - announced_at) / DAY

@@ -1,0 +1,35 @@
+"""IPv6 address and prefix primitives.
+
+Addresses are plain 128-bit Python integers throughout the library for
+speed; this module provides parsing, formatting, prefix arithmetic, a
+longest-prefix-match trie, RFC 7707 address-type classification, and the
+address generators scanners use.
+"""
+
+from repro.net.addr import (
+    MAX_ADDR,
+    addr_to_int,
+    addr_to_str,
+    explode,
+    iid_of,
+    nibbles_of,
+    parse_addr,
+)
+from repro.net.addrtypes import AddressType, classify_address
+from repro.net.prefix import Prefix, PrefixSet
+from repro.net.trie import PrefixTrie
+
+__all__ = [
+    "MAX_ADDR",
+    "parse_addr",
+    "addr_to_int",
+    "addr_to_str",
+    "explode",
+    "nibbles_of",
+    "iid_of",
+    "Prefix",
+    "PrefixSet",
+    "PrefixTrie",
+    "AddressType",
+    "classify_address",
+]

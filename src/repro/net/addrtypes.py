@@ -1,0 +1,157 @@
+"""RFC 7707 target-address classification (addr6 re-implementation).
+
+The paper categorizes every targeted destination address with the ``addr6``
+tool of the SI6 IPv6Toolkit into the categories of Table 3. This module
+reproduces that classification on integer addresses.
+
+Categories (checked in precedence order):
+
+- ``SUBNET_ANYCAST`` — IID is all zero (Subnet-Router anycast, RFC 4291).
+- ``IEEE_DERIVED``   — EUI-64 IID (``ff:fe`` in the middle of the IID).
+- ``ISATAP``         — ISATAP IID (``0[02]00:5efe`` in the upper IID half).
+- ``EMBEDDED_IPV4``  — IPv4 address embedded in the IID, either binary
+  (low 32 bits) or "decimal-spelled" groups (``::192:0:2:1``).
+- ``EMBEDDED_PORT``  — a well-known service port spelled in the IID
+  (``::443`` for HTTPS), hex- or decimal-spelled.
+- ``LOW_BYTE``       — all-zero IID except a small value in the lowest
+  bytes (``::1``).
+- ``PATTERN_BYTES``  — repeated bytes/nibbles or hex words (``::cafe``).
+- ``RANDOMIZED``     — anything without detectable structure.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.net.addr import MAX_ADDR, iid_of
+
+
+class AddressType(enum.Enum):
+    """Target address categories of Table 3 (RFC 7707 / addr6 semantics)."""
+
+    SUBNET_ANYCAST = "subnet-anycast"
+    IEEE_DERIVED = "ieee-derived"
+    ISATAP = "isatap"
+    EMBEDDED_IPV4 = "embedded-ipv4"
+    EMBEDDED_PORT = "embedded-port"
+    LOW_BYTE = "low-byte"
+    PATTERN_BYTES = "pattern-bytes"
+    RANDOMIZED = "randomized"
+
+
+#: Well-known service ports that addr6 recognizes when spelled in an IID.
+SERVICE_PORTS = (
+    21, 22, 23, 25, 53, 80, 110, 123, 143, 161, 179, 443, 465, 587,
+    993, 995, 1194, 3306, 3389, 5060, 5432, 8080, 8443,
+)
+
+#: IID values that hex-spell a service port (e.g. 0x443 reads "443").
+_HEX_SPELLED_PORTS = frozenset(
+    int(str(port), 16) for port in SERVICE_PORTS
+    if all(ch in "0123456789" for ch in str(port))
+)
+
+#: IID values that are a service port in plain binary.
+_BINARY_PORTS = frozenset(SERVICE_PORTS)
+
+#: Threshold below which a zero-padded IID counts as low-byte rather than a
+#: spelled port: ``::53`` is a low-byte host number, ``::443`` is a port.
+_LOW_BYTE_PORT_CUTOFF = 0x100
+
+#: Hex "words" that mark a manually chosen, wordy IID.
+_HEX_WORDS = frozenset((
+    0xCAFE, 0xBABE, 0xDEAD, 0xBEEF, 0xFACE, 0xF00D, 0xFEED, 0xC0DE,
+    0xB00B, 0xD00D, 0xFADE, 0xACE, 0xBAD, 0xDAD, 0xABBA, 0xB00C,
+))
+
+
+def classify_address(addr: int) -> AddressType:
+    """Classify an integer IPv6 address into its :class:`AddressType`.
+
+    The classification only inspects the 64-bit interface identifier, which
+    matches how the paper's ``addr6`` invocation treats telescope targets.
+    """
+    if not 0 <= addr <= MAX_ADDR:
+        raise ValueError(f"address out of range: {addr}")
+    iid = iid_of(addr)
+    if iid == 0:
+        return AddressType.SUBNET_ANYCAST
+    if _is_eui64(iid):
+        return AddressType.IEEE_DERIVED
+    if _is_isatap(iid):
+        return AddressType.ISATAP
+    if _is_decimal_spelled_ipv4(iid):
+        return AddressType.EMBEDDED_IPV4
+    if iid <= 0xFFFF:
+        if (iid >= _LOW_BYTE_PORT_CUTOFF
+                and (iid in _HEX_SPELLED_PORTS or iid in _BINARY_PORTS)):
+            return AddressType.EMBEDDED_PORT
+        if iid in _HEX_WORDS:
+            return AddressType.PATTERN_BYTES
+        return AddressType.LOW_BYTE
+    if _is_word_pattern(iid):
+        return AddressType.PATTERN_BYTES
+    if _is_binary_ipv4(iid):
+        return AddressType.EMBEDDED_IPV4
+    if _is_nibble_pattern(iid):
+        return AddressType.PATTERN_BYTES
+    return AddressType.RANDOMIZED
+
+
+def _is_eui64(iid: int) -> bool:
+    """EUI-64 derived IIDs carry 0xFFFE in IID bytes 3-4."""
+    return (iid >> 24) & 0xFFFF == 0xFFFE
+
+
+def _is_isatap(iid: int) -> bool:
+    """ISATAP IIDs start with 0000:5efe or 0200:5efe (RFC 5214)."""
+    upper = (iid >> 32) & 0xFFFFFFFF
+    return upper in (0x00005EFE, 0x02005EFE)
+
+
+def _is_decimal_spelled_ipv4(iid: int) -> bool:
+    """True for IIDs like ``::192:0:2:1`` spelling a dotted quad.
+
+    Every 16-bit group, printed as hex, must read as a decimal octet
+    (0-255); the first group must be >= 10 to avoid swallowing low-byte
+    addresses such as ``::1:2``.
+    """
+    groups = [(iid >> shift) & 0xFFFF for shift in (48, 32, 16, 0)]
+    octets = []
+    for group in groups:
+        text = f"{group:x}"
+        if any(ch not in "0123456789" for ch in text):
+            return False
+        value = int(text)
+        if value > 255:
+            return False
+        octets.append(value)
+    return octets[0] >= 10
+
+
+def _is_binary_ipv4(iid: int) -> bool:
+    """True for IIDs whose low 32 bits binary-embed an IPv4 address.
+
+    Requires the upper IID half to be zero and a plausible first octet
+    (>= 1). Values <= 0xFFFF are excluded upstream (low-byte wins).
+    """
+    if iid >> 32:
+        return False
+    return (iid >> 24) & 0xFF >= 1
+
+
+def _is_word_pattern(iid: int) -> bool:
+    """Hex-word based patterns (``::cafe:cafe``); checked before the
+    binary-IPv4 heuristic so repeated words below 2^32 stay patterns."""
+    words = [(iid >> shift) & 0xFFFF for shift in (48, 32, 16, 0)]
+    if len(set(words)) == 1:
+        return True
+    return all(word in _HEX_WORDS or word == 0 for word in words) \
+        and any(word in _HEX_WORDS for word in words)
+
+
+def _is_nibble_pattern(iid: int) -> bool:
+    """Low-nibble-diversity patterns; checked after binary IPv4 so sparse
+    embedded addresses like 10.0.0.1 classify as embedded-ipv4."""
+    nibbles = [(iid >> shift) & 0xF for shift in range(60, -4, -4)]
+    return len(set(nibbles)) <= 3

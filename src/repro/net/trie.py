@@ -1,0 +1,147 @@
+"""Binary trie for longest-prefix matching.
+
+Used by the routing fabric to map destination addresses to telescopes and by
+BGP RIBs to resolve best-covering routes. Values are arbitrary Python
+objects attached to prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterator, TypeVar
+
+from repro.errors import PrefixError
+from repro.net.addr import ADDR_BITS
+from repro.net.prefix import Prefix
+
+V = TypeVar("V")
+
+
+class _Node:
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[_Node | None] = [None, None]
+        self.value: Any = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Maps :class:`Prefix` keys to values with longest-prefix lookup.
+
+    Supports exact insert/delete/get plus :meth:`longest_match` over
+    integer addresses. Iteration yields (prefix, value) pairs in
+    depth-first (address) order.
+    """
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.get(prefix, _MISSING) is not _MISSING
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value at ``prefix``."""
+        node = self._descend(prefix, create=True)
+        assert node is not None
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def get(self, prefix: Prefix, default: Any = None) -> Any:
+        """Exact-match lookup; returns ``default`` when absent."""
+        node = self._descend(prefix, create=False)
+        if node is None or not node.has_value:
+            return default
+        return node.value
+
+    def remove(self, prefix: Prefix) -> V:
+        """Delete the exact entry at ``prefix`` and return its value.
+
+        Raises:
+            KeyError: if no exact entry exists.
+        """
+        node = self._descend(prefix, create=False)
+        if node is None or not node.has_value:
+            raise KeyError(str(prefix))
+        value = node.value
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+        return value
+
+    def longest_match(self, addr: int) -> tuple[Prefix, V] | None:
+        """Most-specific entry covering integer address ``addr``.
+
+        Returns ``(prefix, value)`` or ``None`` if nothing covers the
+        address.
+        """
+        node = self._root
+        best: tuple[int, Any] | None = None
+        network = 0
+        depth = 0
+        if node.has_value:
+            best = (0, node.value)
+        while depth < ADDR_BITS:
+            bit = (addr >> (ADDR_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            network |= bit << (ADDR_BITS - 1 - depth)
+            depth += 1
+            node = child
+            if node.has_value:
+                best = (depth, node.value)
+        if best is None:
+            return None
+        best_len, value = best
+        mask_net = addr & (
+            0 if best_len == 0
+            else ((1 << best_len) - 1) << (ADDR_BITS - best_len)
+        )
+        return Prefix(mask_net, best_len), value
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        """Yield all entries in address order (DFS, shorter prefixes first)."""
+        stack: list[tuple[_Node, int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, network, depth = stack.pop()
+            if node.has_value:
+                yield Prefix(network, depth), node.value
+            if depth < ADDR_BITS:
+                # push right first so left pops first (address order)
+                right = node.children[1]
+                if right is not None:
+                    stack.append(
+                        (right, network | (1 << (ADDR_BITS - 1 - depth)), depth + 1)
+                    )
+                left = node.children[0]
+                if left is not None:
+                    stack.append((left, network, depth + 1))
+
+    def _descend(self, prefix: Prefix, create: bool) -> _Node | None:
+        if not isinstance(prefix, Prefix):
+            raise PrefixError(f"expected Prefix, got {type(prefix).__name__}")
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (ADDR_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                if not create:
+                    return None
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        return node
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,33 @@
+"""The simulated IPv6 scanner ecosystem.
+
+The population is calibrated to every marginal the paper reports: temporal
+mix, network-selection mix, protocol/port mixes, target address types, tool
+fingerprints, heavy hitters, the RIPE Atlas fleet, source rotation, and the
+18 live BGP monitors. See DESIGN.md §5 for the calibration targets.
+"""
+
+from repro.scanners.base import (
+    Scanner,
+    ScannerContext,
+    SourceModel,
+    TemporalBehavior,
+    TemporalKind,
+)
+from repro.scanners.population import PopulationConfig, build_population
+from repro.scanners.registry import ASRegistry, ASRecord, NetworkType
+from repro.scanners.tools import TOOL_SIGNATURES, ToolSignature
+
+__all__ = [
+    "Scanner",
+    "ScannerContext",
+    "SourceModel",
+    "TemporalBehavior",
+    "TemporalKind",
+    "ASRegistry",
+    "ASRecord",
+    "NetworkType",
+    "ToolSignature",
+    "TOOL_SIGNATURES",
+    "PopulationConfig",
+    "build_population",
+]

@@ -1,0 +1,298 @@
+"""Scanner agent framework.
+
+A :class:`Scanner` is one localizable scan source (paper §3.3): it owns a
+/64 inside its AS's source prefix, a temporal behavior (one-off, periodic,
+or intermittent — the ground truth for §5.1), a network-selection policy
+(§5.2), an address-selection strategy (§5.3), a protocol/port profile, and
+optionally a tool signature whose payload its probes carry (§5.4).
+
+Scanners interact with the world only through a :class:`ScannerContext`,
+which routes emitted packets into whichever telescope owns the destination.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.bgp.collector import CollectorEntry, RouteCollector
+from repro.bgp.messages import UpdateKind
+from repro.errors import ExperimentError
+from repro.net.addr import random_bits
+from repro.net.prefix import Prefix
+from repro.scanners.registry import ASRecord
+from repro.scanners.tools import ToolSignature
+from repro.sim.clock import HOUR
+from repro.sim.events import Simulator
+from repro.telescope.packet import Packet, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scanners.netselect import NetworkPolicy
+    from repro.scanners.strategies import AddressStrategy, ProtocolProfile
+
+
+class TemporalKind(enum.Enum):
+    """Ground-truth temporal behavior (§5.1)."""
+
+    ONE_OFF = "one-off"
+    PERIODIC = "periodic"
+    INTERMITTENT = "intermittent"
+    #: no internal schedule; sessions only fire on BGP feed reactions.
+    REACTIVE = "reactive"
+
+
+@dataclass(slots=True)
+class TemporalBehavior:
+    """When a scanner fires its sessions.
+
+    Attributes:
+        kind: the taxonomy class the schedule should realize.
+        period: inter-session period for periodic scanners (seconds).
+        mean_gap: mean inter-session gap for intermittent scanners.
+        jitter: uniform jitter applied to periodic firing times.
+        first_at: offset of the first session inside the active window;
+            ``None`` draws it uniformly at random.
+    """
+
+    kind: TemporalKind
+    period: float = 0.0
+    mean_gap: float = 0.0
+    jitter: float = 0.0
+    first_at: float | None = None
+
+    def session_times(self, window_start: float, window_end: float,
+                      rng: np.random.Generator) -> list[float]:
+        """All firing times inside [window_start, window_end)."""
+        if window_end <= window_start:
+            return []
+        if self.kind is TemporalKind.REACTIVE:
+            return []
+        span = window_end - window_start
+        if self.first_at is not None:
+            first = window_start + self.first_at
+        elif self.kind is TemporalKind.PERIODIC and self.period > 0:
+            # a recurring scanner's first visit arrives within one period
+            first = window_start + float(rng.uniform(0.0, self.period))
+        elif self.kind is TemporalKind.INTERMITTENT and self.mean_gap > 0:
+            # renewal process: the first arrival is exponentially
+            # distributed like every later gap
+            first = window_start + float(rng.exponential(self.mean_gap))
+        else:
+            first = window_start + float(rng.uniform(0.0, span))
+        if self.kind is TemporalKind.ONE_OFF:
+            return [first] if first < window_end else []
+        if self.kind is TemporalKind.PERIODIC:
+            if self.period <= 0:
+                raise ExperimentError("periodic scanner needs a period")
+            times = []
+            t = first
+            while t < window_end:
+                jitter = float(rng.uniform(-self.jitter, self.jitter)) \
+                    if self.jitter else 0.0
+                times.append(min(max(t + jitter, window_start),
+                                 window_end - 1.0))
+                t += self.period
+            return times
+        if self.mean_gap <= 0:
+            raise ExperimentError("intermittent scanner needs a mean gap")
+        times = []
+        t = first
+        while t < window_end:
+            times.append(t)
+            t += float(rng.exponential(self.mean_gap))
+        return times
+
+
+class SourceModel(enum.Enum):
+    """How a scanner uses source addresses inside its /64 (§6, T2)."""
+
+    FIXED = "fixed"              # one stable /128
+    PER_SESSION = "per-session"  # fresh IID each session
+    PER_PORT = "per-port"        # fresh IID per destination port (vertical)
+
+
+@dataclass
+class ScannerContext:
+    """Interface between scanner agents and the simulated world."""
+
+    simulator: Simulator
+    route: Callable[[int, float], object]
+    collector: RouteCollector | None = None
+    window_start: float = 0.0
+    window_end: float = 0.0
+    packets_emitted: int = 0
+    packets_unrouted: int = 0
+
+    def inject(self, packet: Packet) -> bool:
+        """Deliver one packet; returns True if the target responded."""
+        self.packets_emitted += 1
+        telescope = self.route(packet.dst, packet.time)
+        if telescope is None:
+            self.packets_unrouted += 1
+            return False
+        return telescope.deliver(packet)
+
+
+@dataclass
+class Scanner:
+    """One scan source with full generative behavior."""
+
+    scanner_id: int
+    name: str
+    as_record: ASRecord
+    temporal: TemporalBehavior
+    network_policy: "NetworkPolicy"
+    addr_strategy: "AddressStrategy"
+    protocol_profile: "ProtocolProfile"
+    rng: np.random.Generator
+    packets_per_session: Callable[[np.random.Generator], int]
+    tool: ToolSignature | None = None
+    payload_probability: float = 0.0
+    #: reverse-DNS name registered for the scanner's fixed source address.
+    rdns_name: str = ""
+    #: ground-truth labels for validation (never read by the analyses).
+    truth_network_class: str = ""
+    truth_address_class: str = ""
+    source_model: SourceModel = SourceModel.FIXED
+    source_subnet_index: int = 0
+    #: mean intra-session packet gap (seconds); must stay < 1h so a burst
+    #: remains one session under the paper's timeout.
+    mean_packet_gap: float = 0.25
+    #: when True, each selected prefix is probed as its own scan job,
+    #: separated by more than the session timeout — one firing then
+    #: produces one session *per announced prefix* (the mechanism behind
+    #: the paper's +555% session growth during the split period).
+    spread_prefix_sessions: bool = False
+    #: when set, the scanner reacts to new BGP announcements: it fires an
+    #: extra session ``reaction_delay()`` seconds after each feed entry.
+    reaction_delay: Callable[[np.random.Generator], float] | None = None
+    #: restrict activity to [active_start, active_end); None = full window.
+    active_start: float | None = None
+    active_end: float | None = None
+    #: pin the fixed-source IID (lets two campaigns share one address, §7.2).
+    fixed_iid: int | None = None
+    sessions_fired: int = field(default=0, init=False)
+    _fixed_iid: int = field(default=0, init=False)
+    _seq: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.fixed_iid is not None:
+            self._fixed_iid = self.fixed_iid or 1
+        else:
+            self._fixed_iid = random_bits(self.rng, 64) or 1
+
+    # -- source addresses ---------------------------------------------------
+
+    @property
+    def source_subnet(self) -> Prefix:
+        """The scanner's /64 inside its AS source prefix."""
+        return self.as_record.source_prefix.subnet(
+            64, self.source_subnet_index % (1 << 16))
+
+    #: rotating scanners cycle through a bounded pool of interface IDs —
+    #: the paper's T2 saw ~3x as many /128 as /64 sources, not unbounded
+    #: fresh addresses per session.
+    ROTATION_POOL = 4
+
+    def source_address(self, port: int = 0, session_nonce: int = 0) -> int:
+        """Current source address under the scanner's rotation model."""
+        subnet = self.source_subnet
+        if self.source_model is SourceModel.FIXED:
+            iid = self._fixed_iid
+        elif self.source_model is SourceModel.PER_SESSION:
+            slot = session_nonce % self.ROTATION_POOL
+            iid = (self._fixed_iid ^ (slot * 0x9E3779B97F4A7C15)) \
+                & ((1 << 64) - 1) or 1
+        else:
+            # vertical scans rotate per destination port; the same port
+            # maps to the same address across sessions
+            iid = (self._fixed_iid ^ (port * 0x9E3779B97F4A7C15)) \
+                & ((1 << 64) - 1) or 1
+        return subnet.network | iid
+
+    # -- scheduling -----------------------------------------------------------
+
+    def window(self, ctx: ScannerContext) -> tuple[float, float]:
+        start = ctx.window_start if self.active_start is None \
+            else max(ctx.window_start, self.active_start)
+        end = ctx.window_end if self.active_end is None \
+            else min(ctx.window_end, self.active_end)
+        return start, end
+
+    def start(self, ctx: ScannerContext) -> None:
+        """Schedule all internally triggered sessions; hook BGP reactions."""
+        start, end = self.window(ctx)
+        for t in self.temporal.session_times(start, end, self.rng):
+            ctx.simulator.schedule_at(
+                max(t, ctx.simulator.now), lambda t=t: self.fire(ctx, t),
+                label=f"scan:{self.name}")
+        if self.reaction_delay is not None:
+            if ctx.collector is None:
+                raise ExperimentError(
+                    f"reactive scanner {self.name} needs a collector feed")
+            ctx.collector.subscribe(
+                lambda time, entry: self._on_feed(ctx, time, entry))
+
+    def _on_feed(self, ctx: ScannerContext, time: float,
+                 entry: CollectorEntry) -> None:
+        if entry.kind is not UpdateKind.ANNOUNCE:
+            return
+        start, end = self.window(ctx)
+        assert self.reaction_delay is not None
+        fire_at = time + float(self.reaction_delay(self.rng))
+        if start <= fire_at < end:
+            ctx.simulator.schedule_at(
+                max(fire_at, ctx.simulator.now),
+                lambda: self.fire(ctx, fire_at, trigger=entry.prefix),
+                label=f"scan-react:{self.name}")
+
+    # -- session emission --------------------------------------------------------
+
+    def fire(self, ctx: ScannerContext, when: float,
+             trigger: Prefix | None = None) -> int:
+        """Emit one scan session starting at ``when``; returns packet count."""
+        selections = self.network_policy.select(ctx, self.rng, trigger)
+        if not selections:
+            return 0
+        total = max(1, int(self.packets_per_session(self.rng)))
+        self.sessions_fired += 1
+        nonce = self.sessions_fired
+        weight_sum = sum(w for _, w in selections)
+        emitted = 0
+        t = when
+        for prefix, weight in selections:
+            count = max(1, round(total * weight / weight_sum))
+            targets = self.addr_strategy.generate(prefix, count, self.rng)
+            for dst in targets:
+                protocol, port = self.protocol_profile.sample(self.rng)
+                payload = self._payload()
+                src = self.source_address(port=port, session_nonce=nonce)
+                ctx.inject(Packet(
+                    time=t, src=src, dst=dst, protocol=protocol,
+                    dst_port=port, payload=payload,
+                    src_asn=self.as_record.asn,
+                    scanner_id=self.scanner_id))
+                emitted += 1
+                t += float(self.rng.exponential(self.mean_packet_gap))
+            if self.spread_prefix_sessions:
+                # next prefix becomes its own session (> 1h timeout gap)
+                t += float(self.rng.uniform(1.25 * HOUR, 2.5 * HOUR))
+        return emitted
+
+    def _payload(self) -> bytes | None:
+        if self.tool is None or self.payload_probability <= 0:
+            return None
+        if self.rng.random() >= self.payload_probability:
+            return None
+        self._seq += 1
+        return self.tool.payload(self.rng, self._seq)
+
+    def validate(self) -> None:
+        """Sanity-check the configuration against session semantics."""
+        if self.mean_packet_gap >= HOUR:
+            raise ExperimentError(
+                f"{self.name}: intra-session gap {self.mean_packet_gap}s "
+                "would split sessions under the 1h timeout")

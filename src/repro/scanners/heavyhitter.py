@@ -1,0 +1,149 @@
+"""Heavy hitters.
+
+§4.2: ten sources each contribute >10% of one telescope's packets; together
+they carry 73% of all packets but only 0.04% of sessions. Three of four T1
+heavy hitters sit in hosting networks (one a self-styled "bullet-proof"
+hoster); two T2 heavy hitters scan repeatedly over the whole period, one
+with an RDNS entry pointing to the 6Sense campaign; one source is heavy in
+both T2 and T4. A single scanner also originates 85% of all UDP packets as
+DNS requests.
+"""
+
+from __future__ import annotations
+
+from repro.net.prefix import Prefix
+from repro.scanners.base import (Scanner, TemporalBehavior, TemporalKind)
+from repro.scanners.netselect import (AllAnnouncedPolicy, AnnouncedProvider,
+                                      FixedPrefixPolicy)
+from repro.scanners.registry import ASRegistry, NetworkType
+from repro.scanners.strategies import (LowByteStrategy, PortDistribution,
+                                       ProtocolProfile, RandomStrategy,
+                                       StructuredSweepStrategy)
+from repro.scanners.tools import SIX_SENSE
+from repro.sim.clock import DAY, WEEK
+from repro.sim.rng import RngStreams
+
+#: UDP profile sending only DNS requests (the single 85%-of-UDP scanner).
+DNS_ONLY = ProtocolProfile(
+    icmpv6=0.0, udp=1.0, udp_traceroute_share=0.0,
+    udp_ports=PortDistribution(ports=(53,), weights=(1.0,)))
+
+
+def build_heavy_hitters(announced: AnnouncedProvider,
+                        t2_prefix: Prefix, t4_prefix: Prefix,
+                        registry: ASRegistry, streams: RngStreams,
+                        split_start: float, duration: float,
+                        burst_packets: int,
+                        first_scanner_id: int) -> list[Scanner]:
+    """The ten heavy hitters, calibrated to carry most of the packet volume.
+
+    ``burst_packets`` scales the one-shot burst size (the knob the
+    population config exposes as its packet-volume lever).
+    """
+    scanners: list[Scanner] = []
+    sid = first_scanner_id
+
+    def _add(scanner: Scanner) -> None:
+        nonlocal sid
+        sid += 1
+        scanners.append(scanner)
+
+    # --- T1 heavy hitters (4) -------------------------------------------------
+    bulletproof = registry.allocate(NetworkType.HOSTING,
+                                    name="bulletproof-hosting")
+    _add(Scanner(
+        scanner_id=sid, name="hh-t1-bulletproof", as_record=bulletproof,
+        temporal=TemporalBehavior(kind=TemporalKind.ONE_OFF),
+        network_policy=AllAnnouncedPolicy(announced),
+        addr_strategy=RandomStrategy(),
+        protocol_profile=ProtocolProfile(icmpv6=1.0),
+        rng=streams.fresh("hh.t1.bulletproof"),
+        packets_per_session=lambda r, n=burst_packets: n,
+        mean_packet_gap=0.02,
+        active_start=split_start + 6 * WEEK,
+        active_end=split_start + 8 * WEEK))
+
+    dns_hoster = registry.allocate(NetworkType.HOSTING)
+    _add(Scanner(
+        scanner_id=sid, name="hh-t1-udp-dns", as_record=dns_hoster,
+        temporal=TemporalBehavior(kind=TemporalKind.INTERMITTENT,
+                                  mean_gap=8 * WEEK, first_at=2 * DAY),
+        network_policy=AllAnnouncedPolicy(announced),
+        addr_strategy=RandomStrategy(structured_subnets=True),
+        protocol_profile=DNS_ONLY,
+        rng=streams.fresh("hh.t1.udp-dns"),
+        packets_per_session=lambda r, n=burst_packets: int(n * 0.65),
+        mean_packet_gap=0.02,
+        active_start=split_start))
+
+    hoster3 = registry.allocate(NetworkType.HOSTING)
+    _add(Scanner(
+        scanner_id=sid, name="hh-t1-burst", as_record=hoster3,
+        temporal=TemporalBehavior(kind=TemporalKind.INTERMITTENT,
+                                  mean_gap=10 * WEEK, first_at=3 * DAY),
+        network_policy=AllAnnouncedPolicy(announced),
+        addr_strategy=RandomStrategy(),
+        protocol_profile=ProtocolProfile(icmpv6=0.9, tcp=0.1),
+        rng=streams.fresh("hh.t1.burst"),
+        packets_per_session=lambda r, n=burst_packets: int(n * 0.4),
+        mean_packet_gap=0.02,
+        active_start=split_start))
+
+    edu = registry.allocate(NetworkType.EDUCATION, name="research-university")
+    _add(Scanner(
+        scanner_id=sid, name="hh-t1-research", as_record=edu,
+        temporal=TemporalBehavior(kind=TemporalKind.INTERMITTENT,
+                                  mean_gap=12 * WEEK, first_at=4 * WEEK),
+        network_policy=AllAnnouncedPolicy(announced),
+        addr_strategy=StructuredSweepStrategy(),
+        protocol_profile=ProtocolProfile(icmpv6=1.0),
+        rng=streams.fresh("hh.t1.research"),
+        packets_per_session=lambda r, n=burst_packets: int(n * 0.5),
+        mean_packet_gap=0.02,
+        rdns_name="ipv6-survey.research-university.edu"))
+
+    # --- T2 heavy hitters (3; one also heavy in T4) ---------------------------
+    sixsense_as = registry.allocate(NetworkType.EDUCATION,
+                                    name="6sense-campaign")
+    _add(Scanner(
+        scanner_id=sid, name="hh-t2-6sense", as_record=sixsense_as,
+        temporal=TemporalBehavior(kind=TemporalKind.PERIODIC,
+                                  period=2 * DAY, jitter=4 * 3600.0,
+                                  first_at=1 * DAY),
+        network_policy=FixedPrefixPolicy((t2_prefix,)),
+        addr_strategy=StructuredSweepStrategy(),
+        protocol_profile=ProtocolProfile(icmpv6=0.7, tcp=0.3),
+        rng=streams.fresh("hh.t2.6sense"),
+        packets_per_session=lambda r, n=burst_packets: max(2, n // 45),
+        tool=SIX_SENSE, payload_probability=0.8,
+        rdns_name=SIX_SENSE.rdns_for(1),
+        mean_packet_gap=0.05))
+
+    longterm = registry.allocate(NetworkType.HOSTING)
+    _add(Scanner(
+        scanner_id=sid, name="hh-t2-longterm", as_record=longterm,
+        temporal=TemporalBehavior(kind=TemporalKind.PERIODIC,
+                                  period=3 * DAY, jitter=6 * 3600.0,
+                                  first_at=2 * DAY),
+        network_policy=FixedPrefixPolicy((t2_prefix,)),
+        addr_strategy=LowByteStrategy(hosts=(1, 2, 0x443)),
+        protocol_profile=ProtocolProfile(icmpv6=0.2, tcp=0.8),
+        rng=streams.fresh("hh.t2.longterm"),
+        packets_per_session=lambda r, n=burst_packets: max(2, n // 100),
+        mean_packet_gap=0.05))
+
+    shared = registry.allocate(NetworkType.EDUCATION)
+    _add(Scanner(
+        scanner_id=sid, name="hh-t2-t4-research", as_record=shared,
+        temporal=TemporalBehavior(kind=TemporalKind.INTERMITTENT,
+                                  mean_gap=9 * WEEK, first_at=5 * WEEK),
+        network_policy=FixedPrefixPolicy((t2_prefix, t4_prefix),
+                                         weights=(0.85, 0.15)),
+        addr_strategy=RandomStrategy(structured_subnets=True),
+        protocol_profile=ProtocolProfile(icmpv6=1.0),
+        rng=streams.fresh("hh.t2.t4"),
+        packets_per_session=lambda r, n=burst_packets: int(n * 0.25),
+        mean_packet_gap=0.03,
+        rdns_name="periphery-scan.netlab.example.edu"))
+
+    return scanners

@@ -1,0 +1,188 @@
+"""Network-selection policies (§5.2 taxonomy, generative side).
+
+A policy decides, at session time, which prefixes the session probes and
+how the session's packets are shared between them. The driver exposes the
+currently announced prefixes through the :class:`ScannerContext` route
+closure — policies consult a provider callable instead so scanners can be
+wired to T1's changing announcement set, to fixed telescopes, or to both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol as TypingProtocol
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.net.prefix import Prefix
+from repro.scanners.base import ScannerContext
+
+#: Returns the prefixes currently announced by T1 (empty in the gap days).
+AnnouncedProvider = Callable[[], tuple[Prefix, ...]]
+
+
+class NetworkPolicy(TypingProtocol):
+    """Selects (prefix, packet-share) pairs for one session."""
+
+    def select(self, ctx: ScannerContext, rng: np.random.Generator,
+               trigger: Prefix | None = None) \
+            -> list[tuple[Prefix, float]]:
+        ...  # pragma: no cover
+
+
+@dataclass
+class FixedPrefixPolicy:
+    """Always probes the same prefix set (T2/T3/T4 scanners)."""
+
+    prefixes: tuple[Prefix, ...]
+    weights: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.prefixes:
+            raise ExperimentError("fixed policy needs at least one prefix")
+        if self.weights is not None \
+                and len(self.weights) != len(self.prefixes):
+            raise ExperimentError("weights must align with prefixes")
+
+    def select(self, ctx: ScannerContext, rng: np.random.Generator,
+               trigger: Prefix | None = None) \
+            -> list[tuple[Prefix, float]]:
+        weights = self.weights or tuple(1.0 for _ in self.prefixes)
+        return list(zip(self.prefixes, weights))
+
+
+@dataclass
+class SingleAnnouncedPolicy:
+    """Single-prefix scanning (§5.2).
+
+    The paper defines a single-prefix scanner as one that "only scans one
+    announced prefix during each period of announcement"; the chosen
+    prefix may change between periods. The policy therefore draws one
+    prefix per *announcement set* and sticks to it until the set changes.
+    A session triggered by a specific announcement (reactive scanners)
+    targets that prefix instead.
+    """
+
+    announced: AnnouncedProvider
+
+    def __post_init__(self) -> None:
+        self._choice: dict[tuple[Prefix, ...], Prefix] = {}
+
+    def select(self, ctx: ScannerContext, rng: np.random.Generator,
+               trigger: Prefix | None = None) \
+            -> list[tuple[Prefix, float]]:
+        current = self.announced()
+        if not current:
+            return []
+        if trigger is not None and trigger in current:
+            return [(trigger, 1.0)]
+        choice = self._choice.get(current)
+        if choice is None:
+            choice = current[int(rng.integers(0, len(current)))]
+            self._choice[current] = choice
+        return [(choice, 1.0)]
+
+
+@dataclass
+class AllAnnouncedPolicy:
+    """Network-size independent: every announced prefix, equal shares."""
+
+    announced: AnnouncedProvider
+
+    def select(self, ctx: ScannerContext, rng: np.random.Generator,
+               trigger: Prefix | None = None) \
+            -> list[tuple[Prefix, float]]:
+        current = self.announced()
+        return [(prefix, 1.0) for prefix in current]
+
+
+@dataclass
+class SizeDependentPolicy:
+    """Network-size dependent: sessions land on prefixes ∝ their size.
+
+    The paper's classification counts *sessions* per prefix, so a
+    size-dependent scanner directs each whole session at one prefix drawn
+    with probability proportional to its address-space size — larger
+    prefixes accumulate proportionally more sessions (§5.2's 24 rare
+    scanners). Equivalent to coarse sweeps over the covering space.
+    """
+
+    announced: AnnouncedProvider
+
+    def select(self, ctx: ScannerContext, rng: np.random.Generator,
+               trigger: Prefix | None = None) \
+            -> list[tuple[Prefix, float]]:
+        current = self.announced()
+        if not current:
+            return []
+        min_len = min(p.length for p in current)
+        weights = np.array(
+            [float(1 << min(min_len - p.length + 32, 62)) for p in current])
+        weights = weights / weights.sum()
+        index = int(rng.choice(len(current), p=weights))
+        return [(current[index], 1.0)]
+
+
+@dataclass
+class SwitchingPolicy:
+    """Inconsistent behavior: policy switches at ``switch_time`` (§7.1).
+
+    The paper's inconsistent scanners probed larger prefixes more at the
+    beginning and became size-independent towards the end.
+    """
+
+    before: NetworkPolicy
+    after: NetworkPolicy
+    switch_time: float
+
+    def select(self, ctx: ScannerContext, rng: np.random.Generator,
+               trigger: Prefix | None = None) \
+            -> list[tuple[Prefix, float]]:
+        policy = self.before if ctx.simulator.now < self.switch_time \
+            else self.after
+        return policy.select(ctx, rng, trigger)
+
+
+@dataclass
+class AlternatingPolicy:
+    """Chooses one sub-policy per session (weighted).
+
+    Models scanners that visit different telescopes in *different*
+    sessions (hence on different days), producing the different-day source
+    overlap of Fig. 16(b).
+    """
+
+    policies: tuple[NetworkPolicy, ...]
+    weights: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.policies:
+            raise ExperimentError("alternating policy needs sub-policies")
+        if self.weights is not None \
+                and len(self.weights) != len(self.policies):
+            raise ExperimentError("weights must align with policies")
+
+    def select(self, ctx: ScannerContext, rng: np.random.Generator,
+               trigger: Prefix | None = None) \
+            -> list[tuple[Prefix, float]]:
+        weights = np.array(self.weights
+                           or [1.0] * len(self.policies), dtype=float)
+        weights = weights / weights.sum()
+        index = int(rng.choice(len(self.policies), p=weights))
+        return self.policies[index].select(ctx, rng, trigger)
+
+
+@dataclass
+class CombinedPolicy:
+    """Union of several policies' selections (multi-telescope scanners)."""
+
+    policies: tuple[NetworkPolicy, ...]
+
+    def select(self, ctx: ScannerContext, rng: np.random.Generator,
+               trigger: Prefix | None = None) \
+            -> list[tuple[Prefix, float]]:
+        selections: list[tuple[Prefix, float]] = []
+        for policy in self.policies:
+            selections.extend(policy.select(ctx, rng, trigger))
+        return selections

@@ -1,0 +1,154 @@
+"""Registry of scanner-hosting autonomous systems.
+
+Assigns each scanner AS a network type (Table 8 categories), a country, a
+source /48, and an RDNS domain. Analyses resolve source addresses back to
+these records the way the paper resolves sources via IP-to-AS and RDNS
+lookups.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.net.prefix import Prefix
+
+
+class NetworkType(enum.Enum):
+    """Network categories of scan sources (Table 8)."""
+
+    HOSTING = "Hosting"
+    ISP = "ISP"
+    EDUCATION = "Education"
+    BUSINESS = "Business"
+    GOVERNMENT = "Government"
+    UNKNOWN = "Unknown"
+
+
+#: Countries weighted roughly by scanner-origin popularity; the paper saw
+#: sources from 127 countries with a strong head.
+_COUNTRIES = ("US", "CN", "DE", "NL", "RU", "GB", "FR", "JP", "BR", "IN",
+              "CA", "AU", "SE", "CH", "PL", "IT", "ES", "KR", "SG", "ZA")
+_COUNTRY_WEIGHTS = np.array(
+    [0.22, 0.14, 0.12, 0.08, 0.06, 0.05, 0.05, 0.04, 0.04, 0.04,
+     0.03, 0.02, 0.02, 0.02, 0.02, 0.01, 0.01, 0.01, 0.01, 0.01])
+
+#: Base of the simulated scanner source-address space: each scanner AS gets
+#: a /48 carved out of 2a0e::/16 by ASN.
+_SOURCE_SPACE_BASE = 0x2A0E << 112
+
+
+@dataclass(frozen=True, slots=True)
+class ASRecord:
+    """Static facts about one scanner-hosting AS."""
+
+    asn: int
+    network_type: NetworkType
+    country: str
+    name: str
+    source_prefix: Prefix
+    rdns_domain: str = ""
+
+
+def source_prefix_for_asn(asn: int) -> Prefix:
+    """Deterministic /48 source prefix of an AS."""
+    if not 0 < asn < (1 << 32):
+        raise ExperimentError(f"invalid ASN {asn}")
+    return Prefix(_SOURCE_SPACE_BASE | (asn << 80), 48)
+
+
+class ASRegistry:
+    """Allocates and resolves scanner-hosting ASes."""
+
+    #: default mix over network types, matching Table 8's scanner shares.
+    DEFAULT_TYPE_MIX = {
+        NetworkType.HOSTING: 0.42,
+        NetworkType.ISP: 0.40,
+        NetworkType.EDUCATION: 0.08,
+        NetworkType.BUSINESS: 0.07,
+        NetworkType.GOVERNMENT: 0.01,
+        NetworkType.UNKNOWN: 0.02,
+    }
+
+    def __init__(self, first_asn: int = 200_000) -> None:
+        self._records: dict[int, ASRecord] = {}
+        self._next_asn = first_asn
+        self._by_prefix: list[tuple[Prefix, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def allocate(self, network_type: NetworkType, country: str = "",
+                 name: str = "", rdns_domain: str = "") -> ASRecord:
+        """Create one AS of the given type."""
+        asn = self._next_asn
+        self._next_asn += 1
+        prefix = source_prefix_for_asn(asn)
+        if not name:
+            name = f"{network_type.value.lower()}-as{asn}"
+        record = ASRecord(asn=asn, network_type=network_type,
+                          country=country or "US", name=name,
+                          source_prefix=prefix, rdns_domain=rdns_domain)
+        self._records[asn] = record
+        self._by_prefix.append((prefix, asn))
+        return record
+
+    def allocate_many(self, count: int, rng: np.random.Generator,
+                      type_mix: dict[NetworkType, float] | None = None) \
+            -> list[ASRecord]:
+        """Allocate ``count`` ASes sampled from ``type_mix`` and countries."""
+        if count < 0:
+            raise ExperimentError(f"negative AS count: {count}")
+        mix = type_mix or self.DEFAULT_TYPE_MIX
+        types = list(mix)
+        weights = np.array([mix[t] for t in types], dtype=float)
+        weights = weights / weights.sum()
+        countries = rng.choice(len(_COUNTRIES), size=count,
+                               p=_COUNTRY_WEIGHTS / _COUNTRY_WEIGHTS.sum())
+        chosen = rng.choice(len(types), size=count, p=weights)
+        return [self.allocate(types[int(t)], country=_COUNTRIES[int(c)])
+                for t, c in zip(chosen, countries)]
+
+    @classmethod
+    def restore(cls, records: list[ASRecord]) -> "ASRegistry":
+        """Rebuild a registry from previously serialized records."""
+        registry = cls()
+        for record in records:
+            if record.asn in registry._records:
+                raise ExperimentError(f"duplicate AS{record.asn}")
+            registry._records[record.asn] = record
+            registry._by_prefix.append((record.source_prefix, record.asn))
+            registry._next_asn = max(registry._next_asn, record.asn + 1)
+        return registry
+
+    def get(self, asn: int) -> ASRecord:
+        try:
+            return self._records[asn]
+        except KeyError:
+            raise ExperimentError(f"unknown scanner AS{asn}") from None
+
+    def lookup_source(self, addr: int) -> ASRecord | None:
+        """Resolve a source address to its AS record (IP-to-AS lookup).
+
+        Source prefixes encode the ASN deterministically, so this is O(1).
+        """
+        if (addr >> 112) != (_SOURCE_SPACE_BASE >> 112):
+            return None
+        asn = (addr >> 80) & 0xFFFFFFFF
+        return self._records.get(asn)
+
+    def network_type_of(self, addr: int) -> NetworkType:
+        record = self.lookup_source(addr)
+        return record.network_type if record else NetworkType.UNKNOWN
+
+    def records(self) -> list[ASRecord]:
+        return [self._records[asn] for asn in sorted(self._records)]
+
+    def asns(self) -> list[int]:
+        return sorted(self._records)
+
+    def countries(self) -> set[str]:
+        return {r.country for r in self._records.values()}

@@ -1,0 +1,265 @@
+"""Address-selection strategies and protocol/port profiles.
+
+Address strategies realize the §5.3 taxonomy from the generative side:
+*structured* strategies produce detectable patterns (low-byte walks,
+subnet sweeps), the *random* strategy draws uniform bits, and mixes
+reproduce the Table 3 target-type marginals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol as TypingProtocol
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.net import addrgen
+from repro.net.addr import ADDR_BITS, random_bits
+from repro.net.prefix import Prefix
+from repro.telescope.packet import (TRACEROUTE_PORT_RANGE, Protocol)
+
+
+class AddressStrategy(TypingProtocol):
+    """Generates ``count`` targets inside ``prefix``."""
+
+    def generate(self, prefix: Prefix, count: int,
+                 rng: np.random.Generator) -> list[int]:
+        ...  # pragma: no cover
+
+
+@dataclass
+class LowByteStrategy:
+    """Structured probing of ``::1``-style addresses across ordered subnets.
+
+    90% of the paper's scanners target at least one low-byte address.
+    """
+
+    subnet_len: int = 64
+    hosts: tuple[int, ...] = (1,)
+    #: probability of also probing the subnet-router anycast (``::0``).
+    anycast_share: float = 0.0
+
+    def generate(self, prefix: Prefix, count: int,
+                 rng: np.random.Generator) -> list[int]:
+        subnet_len = max(self.subnet_len, prefix.length)
+        span = subnet_len - prefix.length
+        total_subnets = 1 << min(span, 62)
+        start = random_bits(rng, min(span, 62)) if span else 0
+        step = 1 << (ADDR_BITS - subnet_len)
+        targets = []
+        for i in range(count):
+            index = (start + i) % total_subnets
+            base = prefix.network + index * step
+            if self.anycast_share and rng.random() < self.anycast_share:
+                targets.append(base)
+            else:
+                host = self.hosts[i % len(self.hosts)]
+                targets.append(base | host)
+        return targets
+
+
+@dataclass
+class StructuredSweepStrategy:
+    """Coarse iterative traversal of a prefix (the Fig. 12a/13 pattern)."""
+
+    subnet_len: int = 64
+
+    def generate(self, prefix: Prefix, count: int,
+                 rng: np.random.Generator) -> list[int]:
+        return addrgen.structured_sweep(prefix, rng, count,
+                                        subnet_len=self.subnet_len)
+
+
+@dataclass
+class RandomStrategy:
+    """Uniformly random addresses (topology-measurement style, Fig. 12b).
+
+    ``random_subnet_bits`` controls whether the subnet part is also random
+    (fully random) or iterated in order with only the IID random — the
+    AS53667 pattern where nibbles 11-12 are structured but the last 80 bits
+    are random.
+    """
+
+    structured_subnets: bool = False
+    subnet_len: int = 64
+
+    def generate(self, prefix: Prefix, count: int,
+                 rng: np.random.Generator) -> list[int]:
+        if not self.structured_subnets:
+            return addrgen.random_targets(prefix, rng, count)
+        subnet_len = max(self.subnet_len, prefix.length)
+        span = subnet_len - prefix.length
+        step = 1 << (ADDR_BITS - subnet_len)
+        start = random_bits(rng, min(span, 62)) if span else 0
+        targets = []
+        for i in range(count):
+            base = prefix.network + ((start + i) % (1 << min(span, 62))) * step
+            targets.append(base | random_bits(rng, ADDR_BITS - subnet_len))
+        return targets
+
+
+@dataclass
+class FixedTargetsStrategy:
+    """Probes a fixed address list (the T2 DNS attractor scanners)."""
+
+    targets: tuple[int, ...]
+
+    def generate(self, prefix: Prefix, count: int,
+                 rng: np.random.Generator) -> list[int]:
+        in_prefix = [t for t in self.targets if prefix.contains_address(t)]
+        pool = in_prefix or list(self.targets)
+        return [pool[i % len(pool)] for i in range(count)]
+
+
+@dataclass
+class TypeMixStrategy:
+    """Samples each target's RFC 7707 category from a weighted mix.
+
+    Used for scanners that exercise the minor Table 3 categories
+    (embedded-ipv4, embedded-port, ieee-derived, isatap, pattern-bytes).
+    """
+
+    weights: dict[str, float] = field(default_factory=lambda: {
+        "low-byte": 0.55, "random": 0.15, "embedded-ipv4": 0.12,
+        "embedded-port": 0.05, "pattern": 0.06, "eui64": 0.04,
+        "anycast": 0.025, "isatap": 0.005})
+
+    def generate(self, prefix: Prefix, count: int,
+                 rng: np.random.Generator) -> list[int]:
+        kinds = list(self.weights)
+        probs = np.array([self.weights[k] for k in kinds], dtype=float)
+        probs = probs / probs.sum()
+        draws = rng.choice(len(kinds), size=count, p=probs) if count else []
+        return [self._one(kinds[int(d)], prefix, rng) for d in draws]
+
+    @staticmethod
+    def _one(kind: str, prefix: Prefix, rng: np.random.Generator) -> int:
+        if kind == "low-byte":
+            subnet = addrgen.random_subnet(prefix, rng, 64)
+            return subnet.network | int(rng.integers(1, 256))
+        if kind == "random":
+            return addrgen.random_iid_address(prefix, rng)
+        if kind == "embedded-ipv4":
+            return addrgen.embedded_ipv4_address(prefix, rng)
+        if kind == "embedded-port":
+            return addrgen.embedded_port_address(prefix, rng)
+        if kind == "pattern":
+            return addrgen.wordy_address(prefix, rng)
+        if kind == "eui64":
+            return addrgen.eui64_address(prefix, rng)
+        if kind == "anycast":
+            subnet = addrgen.random_subnet(prefix, rng, 64)
+            return subnet.network
+        if kind == "isatap":
+            return addrgen.isatap_address(prefix, rng)
+        raise ExperimentError(f"unknown target kind {kind!r}")
+
+
+@dataclass
+class MixStrategy:
+    """Weighted mixture of sub-strategies, sampled per call."""
+
+    parts: Sequence[tuple[float, AddressStrategy]]
+
+    def generate(self, prefix: Prefix, count: int,
+                 rng: np.random.Generator) -> list[int]:
+        if not self.parts:
+            raise ExperimentError("empty strategy mix")
+        weights = np.array([w for w, _ in self.parts], dtype=float)
+        weights = weights / weights.sum()
+        index = int(rng.choice(len(self.parts), p=weights))
+        return self.parts[index][1].generate(prefix, count, rng)
+
+
+# -- protocol/port profiles -----------------------------------------------
+
+
+@dataclass
+class PortDistribution:
+    """Weighted destination-port chooser."""
+
+    ports: tuple[int, ...]
+    weights: tuple[float, ...]
+    #: probability of instead drawing from the whole broad port range
+    #: (the paper saw 1,335 distinct TCP ports).
+    broad_share: float = 0.0
+    broad_range: tuple[int, int] = (1, 10000)
+
+    def __post_init__(self) -> None:
+        if len(self.ports) != len(self.weights):
+            raise ExperimentError("ports and weights must align")
+        total = float(sum(self.weights))
+        if total <= 0:
+            raise ExperimentError("port weights must sum to > 0")
+        cumulative = []
+        running = 0.0
+        for port, weight in zip(self.ports, self.weights):
+            running += weight / total
+            cumulative.append((running, port))
+        # plain attribute set works for non-slotted dataclasses
+        self._cumulative = cumulative
+
+    def sample(self, rng: np.random.Generator) -> int:
+        if self.broad_share and rng.random() < self.broad_share:
+            low, high = self.broad_range
+            return int(rng.integers(low, high + 1))
+        draw = rng.random()
+        for threshold, port in self._cumulative:
+            if draw <= threshold:
+                return port
+        return self.ports[-1]
+
+
+#: Table 4 TCP mix: port 80 dominates, then 443, 21, 8080, 22.
+TCP_PORTS = PortDistribution(
+    ports=(80, 443, 21, 8080, 22),
+    weights=(0.68, 0.15, 0.05, 0.04, 0.04),
+    broad_share=0.04)
+
+#: Table 4 UDP mix: traceroute range, then DNS, SNMP, ISAKMP, NTP.
+UDP_PORTS = PortDistribution(
+    ports=(53, 161, 500, 123),
+    weights=(0.40, 0.21, 0.20, 0.19),
+    broad_share=0.0)
+
+#: share of UDP probes that use the classic traceroute range.
+UDP_TRACEROUTE_SHARE = 0.71
+
+
+@dataclass
+class ProtocolProfile:
+    """Per-packet transport/port sampler.
+
+    Weights are per *packet*; scanners mix protocols inside sessions just
+    like the paper's multi-protocol scanners.
+    """
+
+    icmpv6: float = 1.0
+    tcp: float = 0.0
+    udp: float = 0.0
+    tcp_ports: PortDistribution = field(default_factory=lambda: TCP_PORTS)
+    udp_ports: PortDistribution = field(default_factory=lambda: UDP_PORTS)
+    udp_traceroute_share: float = UDP_TRACEROUTE_SHARE
+
+    def sample(self, rng: np.random.Generator) -> tuple[Protocol, int]:
+        total = self.icmpv6 + self.tcp + self.udp
+        if total <= 0:
+            raise ExperimentError("protocol profile has no weight")
+        draw = rng.random() * total
+        if draw < self.icmpv6:
+            return Protocol.ICMPV6, 0
+        if draw < self.icmpv6 + self.tcp:
+            return Protocol.TCP, self.tcp_ports.sample(rng)
+        if rng.random() < self.udp_traceroute_share:
+            low, high = TRACEROUTE_PORT_RANGE
+            return Protocol.UDP, int(rng.integers(low, high + 1))
+        return Protocol.UDP, self.udp_ports.sample(rng)
+
+
+#: Common profiles.
+ICMPV6_ONLY = ProtocolProfile(icmpv6=1.0)
+TCP_HEAVY = ProtocolProfile(icmpv6=0.15, tcp=0.85)
+UDP_TRACEROUTE = ProtocolProfile(icmpv6=0.2, udp=0.8)
+MIXED_PROFILE = ProtocolProfile(icmpv6=0.65, tcp=0.15, udp=0.20)

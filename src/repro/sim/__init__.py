@@ -1,0 +1,35 @@
+"""Discrete-event simulation engine.
+
+This subpackage provides the minimal machinery that all simulated
+substrates (BGP, telescopes, scanners) share:
+
+- :mod:`repro.sim.clock` — simulated time, calendar helpers.
+- :mod:`repro.sim.events` — an event queue with stable ordering.
+- :mod:`repro.sim.rng` — deterministic, named random-number streams.
+"""
+
+from repro.sim.clock import (
+    DAY,
+    HOUR,
+    MINUTE,
+    SECOND,
+    WEEK,
+    SimClock,
+    format_duration,
+)
+from repro.sim.events import Event, EventQueue, Simulator
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "SimClock",
+    "format_duration",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "RngStreams",
+]

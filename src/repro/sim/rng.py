@@ -1,0 +1,66 @@
+"""Deterministic named random-number streams.
+
+Every stochastic component of the simulation draws from its own named child
+stream of a single master seed. Adding a new component therefore never
+perturbs the draws of existing components, and a corpus is reproducible from
+``(master_seed, config)`` alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class RngStreams:
+    """Factory for named, independent :class:`numpy.random.Generator` streams.
+
+    Child streams are derived by hashing the master seed together with the
+    stream name, so stream identity is stable across runs and across
+    unrelated code changes.
+
+    Example:
+        >>> streams = RngStreams(42)
+        >>> rng = streams.get("scanners.population")
+        >>> float(rng.random()) == float(RngStreams(42).get("scanners.population").random())
+        True
+    """
+
+    def __init__(self, master_seed: int) -> None:
+        self._master_seed = int(master_seed)
+        self._cache: dict[str, np.random.Generator] = {}
+
+    @property
+    def master_seed(self) -> int:
+        return self._master_seed
+
+    def seed_for(self, name: str) -> int:
+        """Derive the 64-bit child seed for stream ``name``."""
+        payload = f"{self._master_seed}:{name}".encode()
+        digest = hashlib.sha256(payload).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the cached generator for ``name``, creating it on first use.
+
+        Repeated calls with the same name return the *same* generator object,
+        so a component that stores the stream and one that re-fetches it
+        observe a single shared sequence.
+        """
+        gen = self._cache.get(name)
+        if gen is None:
+            gen = np.random.default_rng(self.seed_for(name))
+            self._cache[name] = gen
+        return gen
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a new, uncached generator for ``name``.
+
+        Use this when a caller needs an isolated replayable stream (e.g. one
+        scanner's target generator) rather than a shared one.
+        """
+        return np.random.default_rng(self.seed_for(name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngStreams(master_seed={self._master_seed})"

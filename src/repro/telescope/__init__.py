@@ -1,0 +1,31 @@
+"""Network telescopes.
+
+The paper's four telescopes (§3.1):
+
+- **T1** — BGP-controlled, untainted /32 split down to /48s.
+- **T2** — partially productive /48 with a stable 13-year announcement, a
+  productive /56 (excluded from capture), and one DNS-named address.
+- **T3** — silent /48 inside a covering /29, never separately announced.
+- **T4** — reactive /48 inside the same /29; answers TCP and ICMPv6.
+"""
+
+from repro.telescope.capture import CaptureFilter, PacketCapture
+from repro.telescope.deployment import Deployment, build_deployment
+from repro.telescope.packet import ICMPV6, TCP, UDP, Packet, Protocol
+from repro.telescope.reactive import ReactiveResponder
+from repro.telescope.telescope import Telescope, TelescopeKind
+
+__all__ = [
+    "Packet",
+    "Protocol",
+    "ICMPV6",
+    "TCP",
+    "UDP",
+    "PacketCapture",
+    "CaptureFilter",
+    "Telescope",
+    "TelescopeKind",
+    "ReactiveResponder",
+    "Deployment",
+    "build_deployment",
+]

@@ -1,0 +1,115 @@
+"""Packet capture store and filters.
+
+Mirrors a pcap pipeline: packets are appended as they arrive, an optional
+:class:`CaptureFilter` drops out-of-scope traffic (T2 excludes its
+productive /56), and :meth:`PacketCapture.packets` returns an arrival-time
+sorted view for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.net.prefix import Prefix
+from repro.telescope.packet import Packet
+
+
+@dataclass
+class CaptureFilter:
+    """Declarative packet filter.
+
+    Attributes:
+        exclude_dst_prefixes: packets *to* these prefixes are dropped
+            (T2's productive /56, §3.1).
+        exclude_src_prefixes: packets *from* these prefixes are dropped
+            (traffic originated by the productive subnet itself).
+    """
+
+    exclude_dst_prefixes: tuple[Prefix, ...] = ()
+    exclude_src_prefixes: tuple[Prefix, ...] = ()
+
+    def accepts(self, packet: Packet) -> bool:
+        for prefix in self.exclude_dst_prefixes:
+            if prefix.contains_address(packet.dst):
+                return False
+        for prefix in self.exclude_src_prefixes:
+            if prefix.contains_address(packet.src):
+                return False
+        return True
+
+
+@dataclass
+class PacketCapture:
+    """Append-only packet store with basic counters."""
+
+    name: str = ""
+    capture_filter: CaptureFilter | None = None
+    _packets: list[Packet] = field(default_factory=list)
+    _sorted: bool = field(default=True)
+    dropped: int = 0
+
+    def record(self, packet: Packet) -> bool:
+        """Store ``packet`` unless the filter rejects it.
+
+        Returns True if the packet was stored.
+        """
+        if self.capture_filter is not None \
+                and not self.capture_filter.accepts(packet):
+            self.dropped += 1
+            return False
+        if self._packets and packet.time < self._packets[-1].time:
+            self._sorted = False
+        self._packets.append(packet)
+        return True
+
+    def extend(self, packets: Iterable[Packet]) -> int:
+        """Record many packets; returns the number stored."""
+        stored = 0
+        for packet in packets:
+            if self.record(packet):
+                stored += 1
+        return stored
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self.packets())
+
+    def packets(self) -> list[Packet]:
+        """Arrival-time sorted view of all stored packets."""
+        if not self._sorted:
+            self._packets.sort(key=lambda p: p.time)
+            self._sorted = True
+        return self._packets
+
+    def filtered(self, predicate: Callable[[Packet], bool]) -> list[Packet]:
+        return [p for p in self.packets() if predicate(p)]
+
+    def between(self, start: float, end: float) -> list[Packet]:
+        """Packets with ``start <= time < end`` (binary-search bounded)."""
+        data = self.packets()
+        lo = _bisect_time(data, start)
+        hi = _bisect_time(data, end)
+        return data[lo:hi]
+
+    def sources(self) -> set[int]:
+        return {p.src for p in self._packets}
+
+    def destinations(self) -> set[int]:
+        return {p.dst for p in self._packets}
+
+    def source_asns(self) -> set[int]:
+        return {p.src_asn for p in self._packets if p.src_asn}
+
+
+def _bisect_time(packets: list[Packet], t: float) -> int:
+    lo, hi = 0, len(packets)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if packets[mid].time < t:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,226 @@
+"""The standard four-telescope deployment.
+
+Wires together the complete measurement infrastructure of §3: AS topology,
+BGP fabric, route collector, hitlist service, DNS, the four telescopes, and
+the T1 split controller. Also provides the data-plane routing function that
+decides which telescope (if any) captures a packet addressed to ``dst`` at
+a given time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.collector import RouteCollector
+from repro.bgp.controller import (AnnouncementCycle, SplitController,
+                                  build_split_schedule)
+from repro.bgp.lookingglass import LookingGlass
+from repro.bgp.policy import IrrDatabase, Route6Object
+from repro.bgp.speaker import BGPNetwork
+from repro.bgp.topology import ASTopology, attach_stub, build_topology
+from repro.dns.resolver import Resolver
+from repro.dns.umbrella import UmbrellaList
+from repro.dns.zone import Zone
+from repro.errors import ExperimentError
+from repro.hitlist.service import HitlistService
+from repro.net.prefix import Prefix
+from repro.sim.clock import WEEK
+from repro.sim.events import Simulator
+from repro.sim.rng import RngStreams
+from repro.telescope.capture import CaptureFilter, PacketCapture
+from repro.telescope.productive import ProductiveSubnet
+from repro.telescope.reactive import ReactiveResponder
+from repro.telescope.telescope import Telescope, TelescopeKind
+
+#: Prefixes of the deployment (documentation-safe 3fff::/20 space).
+T1_PREFIX = Prefix.parse("3fff:1000::/32")
+T2_PREFIX = Prefix.parse("3fff:2000::/48")
+COVERING_PREFIX = Prefix.parse("3fff:4000::/29")
+T3_PREFIX = Prefix.parse("3fff:4000:3::/48")
+T4_PREFIX = Prefix.parse("3fff:4000:4::/48")
+
+#: ASNs of the measurement infrastructure.
+TELESCOPE_ASN = 64500
+COVERING_ASN = 64499
+
+
+@dataclass
+class Deployment:
+    """All infrastructure pieces of the measurement setup."""
+
+    simulator: Simulator
+    streams: RngStreams
+    topology: ASTopology
+    network: BGPNetwork
+    collector: RouteCollector
+    hitlist: HitlistService
+    resolver: Resolver
+    umbrella: UmbrellaList
+    irr: IrrDatabase
+    looking_glass: LookingGlass
+    telescopes: dict[str, Telescope]
+    controller: SplitController
+    productive: ProductiveSubnet
+    rdns_zone: Zone
+    baseline_weeks: int = 12
+    #: set by :func:`build_deployment` when route-object creation is armed.
+    route_object_created_at: float | None = None
+
+    @property
+    def t1(self) -> Telescope:
+        return self.telescopes["T1"]
+
+    @property
+    def t2(self) -> Telescope:
+        return self.telescopes["T2"]
+
+    @property
+    def t3(self) -> Telescope:
+        return self.telescopes["T3"]
+
+    @property
+    def t4(self) -> Telescope:
+        return self.telescopes["T4"]
+
+    # -- data plane ------------------------------------------------------------
+
+    def route(self, dst: int, now: float | None = None) -> Telescope | None:
+        """Which telescope captures a packet to ``dst`` right now.
+
+        T1 is reachable only while its covering announcement cycle is
+        active; T2 and the /29 (hence T3/T4) are stable. Packets into the
+        /29 outside T3/T4 belong to the prefix owner and are invisible.
+        """
+        if now is None:
+            now = self.simulator.now
+        if T2_PREFIX.contains_address(dst):
+            return self.telescopes["T2"]
+        if T3_PREFIX.contains_address(dst):
+            return self.telescopes["T3"]
+        if T4_PREFIX.contains_address(dst):
+            return self.telescopes["T4"]
+        if COVERING_PREFIX.contains_address(dst):
+            return None
+        if T1_PREFIX.contains_address(dst):
+            cycle = self.controller.cycle_at(now)
+            if cycle is None:
+                return None
+            for prefix in cycle.prefixes:
+                if prefix.contains_address(dst):
+                    return self.telescopes["T1"]
+        return None
+
+    def announced_t1_prefixes(self, now: float | None = None) \
+            -> tuple[Prefix, ...]:
+        if now is None:
+            now = self.simulator.now
+        return self.controller.announced_prefixes_at(now)
+
+    def split_start(self) -> float:
+        """Start time of the split (active) period."""
+        return self.baseline_weeks * WEEK
+
+    def cycles(self) -> list[AnnouncementCycle]:
+        return list(self.controller.schedule)
+
+    def total_packets(self) -> int:
+        return sum(len(t.capture) for t in self.telescopes.values())
+
+
+def build_deployment(streams: RngStreams,
+                     simulator: Simulator | None = None,
+                     baseline_weeks: int = 12,
+                     cycle_weeks: int = 2,
+                     num_cycles: int = 16,
+                     num_tier1: int = 4,
+                     num_tier2: int = 12,
+                     num_stubs: int = 60,
+                     feed_delay: float = 60.0,
+                     create_route_object_after_weeks: int = 16) -> Deployment:
+    """Assemble the four-telescope deployment of the paper.
+
+    The returned deployment has the T1 schedule armed but the simulator not
+    yet run; drive it through :class:`repro.experiment.driver`.
+    """
+    if simulator is None:
+        simulator = Simulator()
+    topo_rng = streams.get("topology")
+    topology = build_topology(topo_rng, num_tier1=num_tier1,
+                              num_tier2=num_tier2, num_stubs=num_stubs)
+    attach_stub(topology, TELESCOPE_ASN, topo_rng, name="telescope-as")
+    attach_stub(topology, COVERING_ASN, topo_rng, name="covering-as")
+    irr = IrrDatabase()
+    network = BGPNetwork(topology, simulator, streams.get("bgp.delay"),
+                         irr=irr)
+    collector = RouteCollector(network=network, simulator=simulator,
+                               feed_delay=feed_delay)
+    hitlist = HitlistService(simulator=simulator)
+    hitlist.attach(collector)
+    hitlist.seed(T2_PREFIX)
+    hitlist.seed(COVERING_PREFIX)
+
+    umbrella = UmbrellaList()
+    resolver = Resolver()
+    rdns_zone = Zone(origin="rdns.")
+    resolver.add_zone(rdns_zone)
+
+    productive = ProductiveSubnet.build(T2_PREFIX,
+                                        streams.get("productive"),
+                                        umbrella=umbrella)
+    resolver.add_zone(productive.zone)
+
+    telescopes = {
+        "T1": Telescope(name="T1", kind=TelescopeKind.PASSIVE,
+                        prefixes=[T1_PREFIX],
+                        capture=PacketCapture(name="T1")),
+        "T2": Telescope(
+            name="T2", kind=TelescopeKind.TRACEABLE,
+            prefixes=[T2_PREFIX],
+            capture=PacketCapture(
+                name="T2",
+                capture_filter=CaptureFilter(
+                    exclude_dst_prefixes=productive.excluded_prefixes,
+                    exclude_src_prefixes=productive.excluded_prefixes)),
+            dns_exposed={productive.attractor_addr}),
+        "T3": Telescope(name="T3", kind=TelescopeKind.PASSIVE,
+                        prefixes=[T3_PREFIX],
+                        capture=PacketCapture(name="T3")),
+        "T4": Telescope(name="T4", kind=TelescopeKind.ACTIVE,
+                        prefixes=[T4_PREFIX],
+                        capture=PacketCapture(name="T4"),
+                        responder=ReactiveResponder()),
+    }
+
+    # stable announcements: T2's /48 and the borrowed covering /29
+    schedule = build_split_schedule(T1_PREFIX, baseline_weeks=baseline_weeks,
+                                    cycle_weeks=cycle_weeks,
+                                    num_cycles=num_cycles)
+    controller = SplitController(speaker=network.speaker(TELESCOPE_ASN),
+                                 simulator=simulator, schedule=schedule)
+    deployment = Deployment(
+        simulator=simulator, streams=streams, topology=topology,
+        network=network, collector=collector, hitlist=hitlist,
+        resolver=resolver, umbrella=umbrella, irr=irr,
+        looking_glass=LookingGlass(network), telescopes=telescopes,
+        controller=controller, productive=productive, rdns_zone=rdns_zone,
+        baseline_weeks=baseline_weeks)
+
+    def _announce_stable() -> None:
+        network.speaker(TELESCOPE_ASN).originate(T2_PREFIX)
+        network.speaker(COVERING_ASN).originate(COVERING_PREFIX)
+
+    simulator.schedule_at(0.0, _announce_stable, label="stable:announce")
+    controller.start()
+
+    if create_route_object_after_weeks is not None:
+        when = create_route_object_after_weeks * WEEK
+
+        def _create_route_object() -> None:
+            stable_33 = T1_PREFIX.split()[0]
+            irr.register(Route6Object(prefix=stable_33,
+                                      origin=TELESCOPE_ASN), time=when)
+            deployment.route_object_created_at = when
+
+        simulator.schedule_at(when, _create_route_object,
+                              label="irr:create-route6")
+    return deployment

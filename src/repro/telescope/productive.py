@@ -1,0 +1,76 @@
+"""T2's productive subnet and DNS attractor.
+
+T2 is a /48 announced for 13 years with a productive /56 (web servers, end
+hosts, IoT devices, several with persistent DNS entries). Traffic from/to
+that /56 is excluded from the measurements. One additional address inside
+the /48 but outside the /56 has a DNS name that also exists in IPv4 and is
+on the Cisco Umbrella popularity list — the "DNS attractor" that draws 50%
+of T2's scanners (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dns.umbrella import UmbrellaList
+from repro.dns.zone import Zone
+from repro.errors import ExperimentError
+from repro.net.addr import random_bits
+from repro.net.prefix import Prefix
+
+
+@dataclass
+class ProductiveSubnet:
+    """The in-use /56 inside T2 plus the out-of-subnet attractor name."""
+
+    telescope_prefix: Prefix
+    subnet: Prefix
+    zone: Zone
+    attractor_name: str = "www.prod-example.net"
+    attractor_addr: int = 0
+    host_addrs: list[int] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, telescope_prefix: Prefix, rng: np.random.Generator,
+              umbrella: UmbrellaList | None = None,
+              num_hosts: int = 24,
+              subnet_index: int = 0x12) -> "ProductiveSubnet":
+        """Create the productive /56, its hosts, and the attractor name.
+
+        The attractor address lives in a different /56 of the telescope
+        prefix and gets an Umbrella listing when ``umbrella`` is given.
+        """
+        if telescope_prefix.length > 56:
+            raise ExperimentError(
+                f"telescope prefix {telescope_prefix} too specific for a /56")
+        subnet = telescope_prefix.subnet(56, subnet_index)
+        zone = Zone(origin="prod-example.net.")
+        instance = cls(telescope_prefix=telescope_prefix, subnet=subnet,
+                       zone=zone)
+        # productive hosts: low-byte servers and SLAAC-style clients
+        for i in range(num_hosts):
+            sub64 = subnet.subnet(64, int(rng.integers(0, 256)))
+            if i < num_hosts // 2:
+                addr = sub64.network | (i + 1)
+                zone.add_aaaa(f"host{i}.prod-example.net.", addr)
+            else:
+                addr = sub64.network | random_bits(rng, 64)
+            instance.host_addrs.append(addr)
+        # the single DNS-named address outside the productive /56
+        attractor_subnet_index = (subnet_index + 0x31) % 256
+        attractor_sub = telescope_prefix.subnet(56, attractor_subnet_index)
+        instance.attractor_addr = attractor_sub.subnet(64, 0).network | 0x80
+        zone.add_aaaa(instance.attractor_name, instance.attractor_addr)
+        if umbrella is not None:
+            umbrella.add(instance.attractor_name)
+        return instance
+
+    @property
+    def excluded_prefixes(self) -> tuple[Prefix, ...]:
+        """Prefixes whose traffic the capture filter must drop (§3.1)."""
+        return (self.subnet,)
+
+    def contains(self, addr: int) -> bool:
+        return self.subnet.contains_address(addr)

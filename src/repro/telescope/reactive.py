@@ -1,0 +1,63 @@
+"""Reactive telescope behavior (T4).
+
+T4 "actively accepts TCP connections and reacts to scanning requests"
+(§3.1) — every address answers. Notably it never appeared on the aliased
+prefix list, which we reproduce by answering deterministically rather than
+echoing arbitrary probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telescope.packet import ICMPV6, TCP, Packet, Protocol
+
+
+@dataclass
+class ReactiveResponder:
+    """Answers probes the way the paper's T4 does.
+
+    Attributes:
+        accept_tcp: answer TCP SYNs on any port.
+        accept_icmpv6: answer echo requests.
+        accept_udp: T4 did not answer UDP probes.
+    """
+
+    accept_tcp: bool = True
+    accept_icmpv6: bool = True
+    accept_udp: bool = False
+    responses_sent: int = 0
+    _responded_ports: dict[int, set[int]] = field(default_factory=dict)
+
+    def responds(self, packet: Packet) -> bool:
+        """Decide whether the probe elicits a response; count it if so."""
+        if packet.protocol is Protocol.TCP:
+            answer = self.accept_tcp
+        elif packet.protocol is Protocol.ICMPV6:
+            answer = self.accept_icmpv6
+        else:
+            answer = self.accept_udp
+        if answer:
+            self.responses_sent += 1
+            if packet.protocol is TCP:
+                ports = self._responded_ports.setdefault(packet.dst, set())
+                ports.add(packet.dst_port)
+        return answer
+
+    def open_ports(self, addr: int) -> set[int]:
+        """TCP ports this responder has answered on for ``addr``."""
+        return set(self._responded_ports.get(addr, ()))
+
+    @property
+    def appears_aliased(self) -> bool:
+        """Whether an aliased-prefix detector would flag the telescope.
+
+        T4 answers identically from every address yet never appeared on
+        the aliased list (§3.2); the detector needs *unsolicited* random
+        high-IID responses to conclude aliasing, which this responder
+        never generates.
+        """
+        return False
+
+
+ICMPV6_RESPONDER = ReactiveResponder(accept_tcp=False, accept_icmpv6=True)

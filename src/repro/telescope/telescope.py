@@ -1,0 +1,76 @@
+"""Telescope model.
+
+A telescope owns one or more prefixes and a capture. Passive telescopes
+only record; reactive telescopes additionally produce responses via a
+:class:`repro.telescope.reactive.ReactiveResponder`, which is what makes
+the paper's T4 discoverable by feedback-driven scanners (and keeps it off
+the aliased-prefix hitlist, §3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.net.prefix import Prefix
+from repro.telescope.capture import PacketCapture
+from repro.telescope.packet import Packet
+from repro.telescope.reactive import ReactiveResponder
+
+
+class TelescopeKind(enum.Enum):
+    """Telescope interaction model (Table 1 columns)."""
+
+    PASSIVE = "passive"      # originates nothing
+    TRACEABLE = "traceable"  # originates/receives author-controlled traffic
+    ACTIVE = "active"        # reacts to connection attempts
+
+
+@dataclass
+class Telescope:
+    """One of the four observation points."""
+
+    name: str
+    kind: TelescopeKind
+    prefixes: list[Prefix]
+    capture: PacketCapture
+    responder: ReactiveResponder | None = None
+    #: addresses with DNS exposure inside the telescope (T2's attractor).
+    dns_exposed: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.prefixes:
+            raise ExperimentError(f"telescope {self.name} has no prefixes")
+        if self.kind is TelescopeKind.ACTIVE and self.responder is None:
+            raise ExperimentError(
+                f"active telescope {self.name} needs a responder")
+
+    def owns(self, addr: int) -> bool:
+        """True if ``addr`` falls inside any of the telescope's prefixes."""
+        return any(p.contains_address(addr) for p in self.prefixes)
+
+    def deliver(self, packet: Packet) -> bool:
+        """Record an arriving packet; returns True if it responded.
+
+        The response itself is not materialized as a packet — scanners only
+        need the boolean feedback signal (did the target answer?).
+        """
+        if not self.owns(packet.dst):
+            raise ExperimentError(
+                f"packet to {packet.dst:#x} misrouted to {self.name}")
+        self.capture.record(packet)
+        if self.responder is not None:
+            return self.responder.responds(packet)
+        return False
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.capture)
+
+    def covering_prefix(self, addr: int) -> Prefix | None:
+        """Most-specific telescope prefix containing ``addr``."""
+        hits = [p for p in self.prefixes if p.contains_address(addr)]
+        if not hits:
+            return None
+        return max(hits, key=lambda p: p.length)

@@ -1,0 +1,43 @@
+"""Shared fixtures.
+
+Two experiment corpora are built once per test session: ``tiny_result``
+(seconds, for smoke-level integration) and ``small_result`` (a few seconds
+more, for shape assertions). Pure unit tests never touch these.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.context import CorpusAnalysis
+from repro.experiment import ExperimentConfig, run_experiment
+
+
+@pytest.fixture(scope="session")
+def tiny_result():
+    return run_experiment(ExperimentConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus(tiny_result):
+    return tiny_result.corpus
+
+
+@pytest.fixture(scope="session")
+def tiny_analysis(tiny_corpus):
+    return CorpusAnalysis(tiny_corpus)
+
+
+@pytest.fixture(scope="session")
+def small_result():
+    return run_experiment(ExperimentConfig.small())
+
+
+@pytest.fixture(scope="session")
+def small_corpus(small_result):
+    return small_result.corpus
+
+
+@pytest.fixture(scope="session")
+def small_analysis(small_corpus):
+    return CorpusAnalysis(small_corpus)

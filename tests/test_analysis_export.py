@@ -1,0 +1,70 @@
+"""Tests for repro.analysis.export and a store roundtrip property."""
+
+import csv
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.export import (export_figures, export_series,
+                                   export_table)
+from repro.analysis.report import Table
+from repro.analysis.tables import table2
+from repro.errors import AnalysisError
+
+
+class TestExportTable:
+    def test_roundtrip(self, tmp_path, tiny_analysis):
+        result = table2(tiny_analysis)
+        path = export_table(result.table, tmp_path / "t2.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == result.table.columns
+        assert len(rows) == len(result.table.rows) + 1
+
+    def test_creates_directories(self, tmp_path):
+        table = Table(title="x", columns=["a"])
+        table.add_row("1")
+        path = export_table(table, tmp_path / "deep" / "dir" / "x.csv")
+        assert path.exists()
+
+
+class TestExportSeries:
+    def test_header_required(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            export_series(tmp_path / "x.csv", [], [])
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.lists(st.integers(min_value=-10**6,
+                                         max_value=10**6),
+                             min_size=2, max_size=2),
+                    min_size=0, max_size=30))
+    def test_roundtrip_property(self, rows):
+        import tempfile
+        from pathlib import Path
+        with tempfile.TemporaryDirectory() as tmp:
+            path = export_series(Path(tmp) / "s.csv", ["a", "b"], rows)
+            with path.open() as handle:
+                read = list(csv.reader(handle))
+        assert read[0] == ["a", "b"]
+        assert [[int(x) for x in row] for row in read[1:]] == rows
+
+
+class TestExportFigures:
+    def test_all_files_written(self, tmp_path, tiny_analysis):
+        written = export_figures(tiny_analysis, tmp_path)
+        assert len(written) == 5
+        for path in written:
+            assert path.exists()
+            with path.open() as handle:
+                rows = list(csv.reader(handle))
+            assert len(rows) >= 2, path  # header + data
+
+    def test_fig11_columns(self, tmp_path, tiny_analysis):
+        export_figures(tiny_analysis, tmp_path)
+        with (tmp_path / "fig11_biweekly.csv").open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["cycle", "t1_sources", "t1_sessions",
+                           "rest_sources", "rest_sessions"]
+        cycles = [int(r[0]) for r in rows[1:]]
+        assert cycles == sorted(cycles)

@@ -1,0 +1,87 @@
+"""Tests for repro.analysis.routeobject (§3.2 no-effect finding)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.routeobject import RouteObjectEffect, route_object_effect
+from repro.errors import AnalysisError
+from repro.net.prefix import Prefix
+from repro.sim.clock import DAY
+from repro.telescope.packet import ICMPV6, Packet
+
+PREFIX = Prefix.parse("3fff:1000::/33")
+CREATED = 100 * DAY
+
+
+def steady_packets(rate_per_day: float, start: float, end: float,
+                   rng) -> list[Packet]:
+    packets = []
+    t = start
+    while t < end:
+        packets.append(Packet(time=t, src=int(rng.integers(1, 1000)),
+                              dst=PREFIX.network | 1, protocol=ICMPV6))
+        t += DAY / rate_per_day * float(rng.uniform(0.5, 1.5))
+    return packets
+
+
+class TestRouteObjectEffect:
+    def test_steady_traffic_not_noticeable(self):
+        rng = np.random.default_rng(0)
+        packets = steady_packets(20, CREATED - 40 * DAY,
+                                 CREATED + 40 * DAY, rng)
+        effect = route_object_effect(packets, PREFIX, CREATED)
+        assert not effect.is_noticeable()
+        assert abs(effect.packet_change) < 0.3
+
+    def test_step_change_detected(self):
+        rng = np.random.default_rng(1)
+        before = steady_packets(5, CREATED - 40 * DAY, CREATED, rng)
+        after = steady_packets(50, CREATED, CREATED + 40 * DAY, rng)
+        effect = route_object_effect(before + after, PREFIX, CREATED)
+        assert effect.is_noticeable()
+        assert effect.packet_change > 2.0
+
+    def test_other_prefix_ignored(self):
+        rng = np.random.default_rng(2)
+        packets = steady_packets(20, CREATED - 10 * DAY,
+                                 CREATED + 10 * DAY, rng)
+        other = Prefix.parse("3fff:9999::/48")
+        with pytest.raises(AnalysisError):
+            route_object_effect(packets, other, CREATED)
+
+    def test_counts_reported(self):
+        rng = np.random.default_rng(3)
+        packets = steady_packets(10, CREATED - 28 * DAY,
+                                 CREATED + 28 * DAY, rng)
+        effect = route_object_effect(packets, PREFIX, CREATED)
+        assert effect.packets_before > 0
+        assert effect.packets_after > 0
+        assert effect.sources_before > 0
+
+    def test_window_validation(self):
+        with pytest.raises(AnalysisError):
+            route_object_effect([], PREFIX, CREATED, window_days=1)
+
+    def test_change_without_baseline_rejected(self):
+        effect = RouteObjectEffect(created_at=0, window_days=5,
+                                   packets_before=0, packets_after=10,
+                                   sources_before=0, sources_after=1,
+                                   daily_sources_before=(0, 0),
+                                   daily_sources_after=(1, 1),
+                                   p_value=0.001)
+        with pytest.raises(AnalysisError):
+            effect.packet_change
+        with pytest.raises(AnalysisError):
+            effect.source_change
+
+    def test_on_simulated_corpus(self, small_result):
+        """The simulated campaign reproduces the paper's null finding."""
+        deployment = small_result.deployment
+        if deployment.route_object_created_at is None:
+            pytest.skip("route object never created in this config")
+        corpus = small_result.corpus
+        stable_33 = corpus.t1_prefix.split()[0]
+        effect = route_object_effect(
+            corpus.packets("T1"), stable_33,
+            deployment.route_object_created_at, window_days=21)
+        assert not effect.is_noticeable()

@@ -1,0 +1,123 @@
+"""Integration tests for the table generators."""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.analysis.tables import (table2, table3, table4, table5, table6,
+                                   table7, table8)
+from repro.core.netclass import NetworkClass
+from repro.core.temporal import TemporalClass
+from repro.errors import AnalysisError
+from repro.net.addrtypes import AddressType
+from repro.scanners.registry import NetworkType
+from repro.telescope.packet import Protocol
+
+
+class TestReportTable:
+    def test_render_and_cell(self):
+        table = Table(title="T", columns=["A", "B"])
+        table.add_row("x", 1)
+        assert table.cell(0, "B") == "1"
+        text = table.render()
+        assert "T" in text and "x" in text
+
+    def test_row_width_checked(self):
+        table = Table(title="T", columns=["A"])
+        with pytest.raises(AnalysisError):
+            table.add_row("x", "y")
+
+
+class TestTable2(object):
+    def test_shares_sum(self, tiny_analysis):
+        result = table2(tiny_analysis)
+        assert sum(result.packet_shares.values()) == pytest.approx(1.0)
+
+    def test_all_protocols_present(self, tiny_analysis):
+        result = table2(tiny_analysis)
+        for protocol in (Protocol.ICMPV6, Protocol.TCP, Protocol.UDP):
+            assert result.packets.get(protocol, 0) > 0
+
+    def test_renders(self, tiny_analysis):
+        assert "ICMPV6" in table2(tiny_analysis).table.render()
+
+
+class TestTable3:
+    def test_low_byte_most_sources(self, tiny_analysis):
+        result = table3(tiny_analysis)
+        top_source_type = max(result.source_shares,
+                              key=result.source_shares.get)
+        assert top_source_type is AddressType.LOW_BYTE
+
+    def test_packet_shares_sum(self, tiny_analysis):
+        result = table3(tiny_analysis)
+        assert sum(result.packet_shares.values()) == pytest.approx(1.0)
+
+
+class TestTable4:
+    def test_port_80_on_top(self, tiny_analysis):
+        result = table4(tiny_analysis)
+        assert result.tcp[0][0] == 80
+
+    def test_traceroute_dominates_udp(self, tiny_analysis):
+        from repro.core.protocols import TRACEROUTE_BUCKET
+        result = table4(tiny_analysis)
+        assert result.udp[0][0] == TRACEROUTE_BUCKET
+
+
+class TestTable5:
+    def test_ordering_t1_t2_above_t3_t4(self, tiny_analysis):
+        result = table5(tiny_analysis)
+        assert result.packets["T1"] > result.packets["T4"] \
+            >= result.packets["T3"]
+        assert result.packets["T2"] > result.packets["T4"]
+
+    def test_tables_render(self, tiny_analysis):
+        result = table5(tiny_analysis)
+        assert "T1" in result.table_a.render()
+        assert "ICMPV6" in result.table_b.render()
+
+
+class TestTable6:
+    def test_classes_cover_population(self, tiny_analysis):
+        result = table6(tiny_analysis)
+        total = sum(result.temporal_scanners.values())
+        assert total > 0
+        assert result.temporal_scanners.get(TemporalClass.ONE_OFF, 0) > 0
+
+    def test_temporal_sessions_match_scanner_sessions(self, tiny_analysis):
+        result = table6(tiny_analysis)
+        assert sum(result.temporal_sessions.values()) \
+            >= sum(result.temporal_scanners.values())
+
+    def test_network_classes_present(self, tiny_analysis):
+        result = table6(tiny_analysis)
+        assert result.network_scanners.get(NetworkClass.SINGLE_PREFIX,
+                                           0) > 0
+
+
+class TestTable7:
+    def test_tools_identified(self, tiny_analysis):
+        result = table7(tiny_analysis)
+        assert "RIPEAtlasProbe" in result.per_tool
+        scanners, sessions = result.per_tool["RIPEAtlasProbe"]
+        assert scanners > 0 and sessions > 0
+
+    def test_counts_bounded(self, tiny_analysis):
+        result = table7(tiny_analysis)
+        for scanners, sessions in result.per_tool.values():
+            assert scanners <= result.total_scanners
+            assert sessions <= result.total_sessions
+
+
+class TestTable8:
+    def test_hosting_and_isp_dominate(self, tiny_analysis):
+        result = table8(tiny_analysis)
+        dominant = (result.scanners.get(NetworkType.HOSTING, 0)
+                    + result.scanners.get(NetworkType.ISP, 0))
+        assert dominant > 0.7 * sum(result.scanners.values())
+
+    def test_without_hitters_not_larger(self, tiny_analysis):
+        result = table8(tiny_analysis)
+        for network_type, count in \
+                result.packets_without_hitters.items():
+            assert count <= result.packets.get(network_type, 0)

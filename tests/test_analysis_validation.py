@@ -1,0 +1,60 @@
+"""Tests for repro.analysis.validation (closed-loop classifier scoring)."""
+
+import pytest
+
+from repro.analysis.validation import (EXCUSABLE, ConfusionMatrix,
+                                       validate_network, validate_temporal,
+                                       validate_tools)
+from repro.errors import AnalysisError
+
+
+class TestConfusionMatrix:
+    def test_accuracy(self):
+        matrix = ConfusionMatrix()
+        matrix.add("a", "a")
+        matrix.add("a", "b")
+        assert matrix.accuracy() == 0.5
+        assert matrix.accuracy(excuse={("a", "b")}) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            ConfusionMatrix().accuracy()
+
+    def test_render(self):
+        matrix = ConfusionMatrix()
+        matrix.add("x", "x")
+        matrix.add("x", "y")
+        text = matrix.render("t")
+        assert "x = x" in text
+        assert "x > y" in text
+
+
+class TestTemporalValidation:
+    def test_high_accuracy(self, small_result):
+        matrix = validate_temporal(small_result)
+        assert matrix.total > 50
+        # raw accuracy is already high; excusing window-clipping
+        # degradations it should be near-perfect
+        assert matrix.accuracy() > 0.8
+        assert matrix.accuracy(excuse=EXCUSABLE) > 0.9
+
+    def test_one_offs_never_upgraded(self, small_result):
+        """A one-off scanner can never be classified as recurring."""
+        matrix = validate_temporal(small_result)
+        assert matrix.counts.get(("one-off", "periodic"), 0) == 0
+        assert matrix.counts.get(("one-off", "intermittent"), 0) == 0
+
+
+class TestNetworkValidation:
+    def test_majority_correct(self, small_result):
+        matrix = validate_network(small_result)
+        assert matrix.total > 50
+        assert matrix.accuracy() > 0.7
+
+
+class TestToolValidation:
+    def test_tool_attribution_precise(self, small_result):
+        matrix = validate_tools(small_result)
+        assert matrix.total > 20
+        # payload magic is unambiguous, so attribution is near-perfect
+        assert matrix.accuracy() > 0.95

@@ -1,0 +1,143 @@
+"""Tests for repro.bgp.controller (Fig. 2 schedule)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.controller import (SplitController, build_split_schedule,
+                                  choose_split_target)
+from repro.bgp.speaker import BGPNetwork
+from repro.bgp.topology import ASRelationship, ASTopology
+from repro.errors import ExperimentError
+from repro.net.prefix import Prefix
+from repro.sim.clock import DAY, WEEK
+from repro.sim.events import Simulator
+
+P32 = Prefix.parse("3fff:1000::/32")
+
+
+class TestChooseSplitTarget:
+    def test_avoids_low_byte_holder(self):
+        low, high = P32.split()
+        target = choose_split_target({low, high}, P32.low_byte_address)
+        assert target == high
+
+    def test_falls_back_when_unavoidable(self):
+        target = choose_split_target({P32}, P32.low_byte_address)
+        assert target == P32
+
+    def test_most_specific_first(self):
+        low, high = P32.split()
+        h_low, h_high = high.split()
+        target = choose_split_target({low, h_low, h_high},
+                                     P32.low_byte_address)
+        assert target == h_high
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            choose_split_target(set(), 1)
+
+
+class TestSchedule:
+    def test_paper_defaults(self):
+        schedule = build_split_schedule(P32)
+        assert len(schedule) == 17
+        assert [len(c.prefixes) for c in schedule] == list(range(1, 18))
+        final = schedule[-1]
+        lengths = sorted(p.length for p in final.prefixes)
+        assert lengths == list(range(33, 48)) + [48, 48]
+
+    def test_cycle_zero_is_baseline(self):
+        schedule = build_split_schedule(P32, baseline_weeks=12)
+        assert schedule[0].prefixes == (P32,)
+        assert schedule[0].announce_time == 0.0
+        assert schedule[0].withdraw_time == 12 * WEEK - DAY
+        assert schedule[1].announce_time == 12 * WEEK
+
+    def test_one_day_gaps(self):
+        schedule = build_split_schedule(P32)
+        for cycle, following in zip(schedule[1:], schedule[2:]):
+            assert following.announce_time - cycle.withdraw_time \
+                == pytest.approx(DAY)
+
+    def test_prefixes_tile_the_origin(self):
+        """Every cycle's announced set exactly covers the /32."""
+        for cycle in build_split_schedule(P32):
+            total = sum(p.num_addresses for p in cycle.prefixes)
+            assert total == P32.num_addresses
+            for a in cycle.prefixes:
+                for b in cycle.prefixes:
+                    assert a == b or not a.overlaps(b)
+
+    def test_stable_companion_holds_low_byte(self):
+        schedule = build_split_schedule(P32)
+        for cycle in schedule[1:]:
+            holders = [p for p in cycle.prefixes
+                       if p.contains_address(P32.low_byte_address)]
+            assert len(holders) == 1
+            assert holders[0].length == 33
+
+    def test_new_prefixes_are_fresh(self):
+        schedule = build_split_schedule(P32)
+        seen: set = set()
+        for cycle in schedule:
+            for prefix in cycle.new_prefixes:
+                assert prefix not in seen
+                seen.add(prefix)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ExperimentError):
+            build_split_schedule(P32, baseline_weeks=0)
+        with pytest.raises(ExperimentError):
+            build_split_schedule(P32, cycle_weeks=1, gap_days=8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=16),
+           st.integers(min_value=1, max_value=4))
+    def test_counts_for_any_cycle_number(self, cycles, cycle_weeks):
+        schedule = build_split_schedule(P32, num_cycles=cycles,
+                                        cycle_weeks=cycle_weeks)
+        assert len(schedule) == cycles + 1
+        assert len(schedule[-1].prefixes) == cycles + 1
+
+
+class TestSplitController:
+    def _world(self):
+        t = ASTopology()
+        t.add_as(1, tier=1)
+        t.add_as(2, tier=3)
+        t.add_link(1, 2, ASRelationship.CUSTOMER)
+        sim = Simulator()
+        network = BGPNetwork(t, sim, np.random.default_rng(0))
+        return sim, network
+
+    def test_cycle_at(self):
+        sim, network = self._world()
+        schedule = build_split_schedule(P32, baseline_weeks=2, num_cycles=2)
+        controller = SplitController(speaker=network.speaker(2),
+                                     simulator=sim, schedule=schedule)
+        controller.start()
+        assert controller.cycle_at(0.0).index == 0
+        assert controller.cycle_at(2 * WEEK - DAY / 2) is None  # gap day
+        assert controller.cycle_at(2 * WEEK).index == 1
+        assert controller.announced_prefixes_at(3 * WEEK) \
+            == schedule[1].prefixes
+
+    def test_drives_speaker(self):
+        sim, network = self._world()
+        schedule = build_split_schedule(P32, baseline_weeks=2, num_cycles=1)
+        controller = SplitController(speaker=network.speaker(2),
+                                     simulator=sim, schedule=schedule)
+        controller.start()
+        sim.run_until(1 * DAY)
+        assert network.speaker(2).originated == {P32}
+        sim.run_until(2 * WEEK + DAY)
+        assert network.speaker(2).originated == set(schedule[1].prefixes)
+
+    def test_empty_schedule_rejected(self):
+        sim, network = self._world()
+        controller = SplitController(speaker=network.speaker(2),
+                                     simulator=sim, schedule=[])
+        with pytest.raises(ExperimentError):
+            controller.start()

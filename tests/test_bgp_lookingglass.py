@@ -1,0 +1,62 @@
+"""Tests for repro.bgp.lookingglass."""
+
+import numpy as np
+import pytest
+
+from repro.bgp.lookingglass import LookingGlass
+from repro.bgp.speaker import BGPNetwork
+from repro.bgp.topology import ASRelationship, ASTopology
+from repro.errors import RoutingError
+from repro.net.prefix import Prefix
+from repro.sim.events import Simulator
+
+P = Prefix.parse("2001:db8::/32")
+
+
+@pytest.fixture
+def world():
+    t = ASTopology()
+    t.add_as(1, tier=1)
+    t.add_as(2, tier=1)
+    t.add_as(3, tier=3)
+    t.add_link(1, 2, ASRelationship.PEER)
+    t.add_link(1, 3, ASRelationship.CUSTOMER)
+    t.add_link(2, 3, ASRelationship.CUSTOMER)
+    sim = Simulator()
+    network = BGPNetwork(t, sim, np.random.default_rng(0))
+    return sim, network
+
+
+class TestLookingGlass:
+    def test_default_vantages_are_tier1(self, world):
+        _, network = world
+        glass = LookingGlass(network)
+        assert glass.vantages == [1, 2]
+
+    def test_visibility_lifecycle(self, world):
+        sim, network = world
+        glass = LookingGlass(network)
+        assert not glass.is_visible(P)
+        network.speaker(3).originate(P)
+        sim.run_until(60.0)
+        report = glass.query(P)
+        assert report.visible
+        assert report.vantages_with_route == 2
+        assert all(path[-1] == 3 for path in report.as_paths)
+
+    def test_origin_counts_as_visible(self, world):
+        sim, network = world
+        glass = LookingGlass(network, vantages=[3])
+        network.speaker(3).originate(P)
+        assert glass.is_visible(P)
+
+    def test_unknown_vantage_rejected(self, world):
+        _, network = world
+        with pytest.raises(RoutingError):
+            LookingGlass(network, vantages=[999])
+
+    def test_empty_vantages_rejected(self, world):
+        _, network = world
+        network_without_tier1 = network
+        with pytest.raises(RoutingError):
+            LookingGlass(network_without_tier1, vantages=[])

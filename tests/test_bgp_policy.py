@@ -1,0 +1,70 @@
+"""Tests for repro.bgp.policy (IRR database)."""
+
+import pytest
+
+from repro.bgp.policy import IrrDatabase, Route6Object
+from repro.errors import PolicyError
+from repro.net.prefix import Prefix
+
+P32 = Prefix.parse("2001:db8::/32")
+P48 = Prefix.parse("2001:db8::/48")
+OTHER = Prefix.parse("2001:dead::/32")
+
+
+class TestRoute6Object:
+    def test_invalid_origin(self):
+        with pytest.raises(PolicyError):
+            Route6Object(prefix=P32, origin=0)
+
+
+class TestIrrDatabase:
+    def test_register_and_lookup(self):
+        db = IrrDatabase()
+        db.register(Route6Object(prefix=P32, origin=64500))
+        assert db.objects_for(P32) == {64500}
+        assert len(db) == 1
+
+    def test_register_idempotent(self):
+        db = IrrDatabase()
+        db.register(Route6Object(prefix=P32, origin=64500))
+        db.register(Route6Object(prefix=P32, origin=64500))
+        assert len(db) == 1
+
+    def test_valid_exact(self):
+        db = IrrDatabase()
+        db.register(Route6Object(prefix=P32, origin=64500))
+        assert db.is_valid(P32, 64500) is True
+
+    def test_valid_covering(self):
+        """A /32 object authorizes its /48 more-specific."""
+        db = IrrDatabase()
+        db.register(Route6Object(prefix=P32, origin=64500))
+        assert db.is_valid(P48, 64500) is True
+
+    def test_invalid_wrong_origin(self):
+        db = IrrDatabase()
+        db.register(Route6Object(prefix=P32, origin=64500))
+        assert db.is_valid(P32, 64501) is False
+
+    def test_not_found_is_none(self):
+        """No covering object at all -> 'not found', not filtered (§3.2)."""
+        db = IrrDatabase()
+        db.register(Route6Object(prefix=P32, origin=64500))
+        assert db.is_valid(OTHER, 64500) is None
+
+    def test_multiple_origins(self):
+        db = IrrDatabase()
+        db.register(Route6Object(prefix=P32, origin=1))
+        db.register(Route6Object(prefix=P32, origin=2))
+        assert db.is_valid(P32, 1) is True
+        assert db.is_valid(P32, 2) is True
+        assert db.objects_for(P32) == {1, 2}
+
+    def test_more_specific_object_does_not_cover(self):
+        """A /33 object says nothing about a /32 announcement (reviewed
+        bug: the inverted covers() check filtered the /32)."""
+        db = IrrDatabase()
+        db.register(Route6Object(prefix=Prefix.parse("2001:db8::/33"),
+                                 origin=64500))
+        assert db.is_valid(P32, 64500) is None
+        assert db.is_valid(P32, 64501) is None

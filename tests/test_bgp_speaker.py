@@ -1,0 +1,163 @@
+"""Tests for repro.bgp.speaker (propagation, policy, withdrawal)."""
+
+import numpy as np
+import pytest
+
+from repro.bgp.policy import IrrDatabase, Route6Object
+from repro.bgp.speaker import BGPNetwork
+from repro.bgp.topology import ASRelationship, ASTopology
+from repro.errors import RoutingError
+from repro.net.prefix import Prefix
+from repro.sim.events import Simulator
+
+P = Prefix.parse("2001:db8::/32")
+
+
+def line_topology() -> ASTopology:
+    """stub(1) <- provider(2) <- tier1(3) -> provider(4) -> stub(5)."""
+    t = ASTopology()
+    for asn, tier in ((1, 3), (2, 2), (3, 1), (4, 2), (5, 3)):
+        t.add_as(asn, tier=tier)
+    t.add_link(2, 1, ASRelationship.CUSTOMER)
+    t.add_link(3, 2, ASRelationship.CUSTOMER)
+    t.add_link(3, 4, ASRelationship.CUSTOMER)
+    t.add_link(4, 5, ASRelationship.CUSTOMER)
+    return t
+
+
+@pytest.fixture
+def network():
+    sim = Simulator()
+    return BGPNetwork(line_topology(), sim, np.random.default_rng(0),
+                      min_link_delay=1.0, max_link_delay=2.0)
+
+
+class TestPropagation:
+    def test_announcement_reaches_everyone(self, network):
+        network.speaker(1).originate(P)
+        network.simulator.run_until(60.0)
+        for asn in (2, 3, 4, 5):
+            assert network.speaker(asn).has_route(P.low_byte_address), asn
+        assert network.visibility(P) == 1.0
+
+    def test_as_path_grows_along_the_way(self, network):
+        network.speaker(1).originate(P)
+        network.simulator.run_until(60.0)
+        route = network.speaker(5).loc_rib.best(P)
+        assert route.as_path == (4, 3, 2, 1)
+
+    def test_withdrawal_clears_all_ribs(self, network):
+        network.speaker(1).originate(P)
+        network.simulator.run_until(60.0)
+        network.speaker(1).withdraw_origin(P)
+        network.simulator.run_until(120.0)
+        for asn in (2, 3, 4, 5):
+            assert not network.speaker(asn).has_route(P.low_byte_address)
+        assert network.visibility(P) == 0.0
+
+    def test_reannouncement_after_withdrawal(self, network):
+        speaker = network.speaker(1)
+        speaker.originate(P)
+        network.simulator.run_until(60.0)
+        speaker.withdraw_origin(P)
+        network.simulator.run_until(120.0)
+        speaker.originate(P)
+        network.simulator.run_until(180.0)
+        assert network.visibility(P) == 1.0
+
+    def test_originate_idempotent(self, network):
+        speaker = network.speaker(1)
+        speaker.originate(P)
+        speaker.originate(P)
+        assert speaker.originated == {P}
+
+    def test_withdraw_unknown_is_noop(self, network):
+        network.speaker(1).withdraw_origin(P)
+        assert network.speaker(1).originated == set()
+
+
+class TestGaoRexford:
+    def test_peer_routes_not_transited_to_peers(self):
+        """A route learned from a peer must only go to customers."""
+        t = ASTopology()
+        for asn, tier in ((1, 1), (2, 1), (3, 1)):
+            t.add_as(asn, tier=tier)
+        t.add_as(10, tier=3)
+        # 1 -peer- 2 -peer- 3 ; 10 is customer of 1
+        t.add_link(1, 2, ASRelationship.PEER)
+        t.add_link(2, 3, ASRelationship.PEER)
+        t.add_link(1, 10, ASRelationship.CUSTOMER)
+        sim = Simulator()
+        network = BGPNetwork(t, sim, np.random.default_rng(0),
+                             min_link_delay=1.0, max_link_delay=1.5)
+        network.speaker(1).originate(P)
+        sim.run_until(60.0)
+        # 2 learns from peer 1; must not re-export to its peer 3
+        assert network.speaker(2).loc_rib.best(P) is not None
+        assert network.speaker(3).loc_rib.best(P) is None
+
+    def test_customer_route_preferred_over_provider(self):
+        t = ASTopology()
+        t.add_as(1, tier=1)   # provider of 2
+        t.add_as(2, tier=2)   # middle
+        t.add_as(3, tier=3)   # customer of 2, origin
+        t.add_link(1, 2, ASRelationship.CUSTOMER)
+        t.add_link(2, 3, ASRelationship.CUSTOMER)
+        t.add_link(1, 3, ASRelationship.CUSTOMER)  # 3 multihomes to 1
+        sim = Simulator()
+        network = BGPNetwork(t, sim, np.random.default_rng(0),
+                             min_link_delay=1.0, max_link_delay=1.5)
+        network.speaker(3).originate(P)
+        sim.run_until(120.0)
+        # 2 hears from its customer 3 directly and from provider 1;
+        # the customer route must win
+        best = network.speaker(2).loc_rib.best(P)
+        assert best.neighbor == 3
+
+
+class TestIrrValidation:
+    def test_invalid_peer_route_filtered(self):
+        t = ASTopology()
+        t.add_as(1, tier=1)
+        t.add_as(2, tier=1)
+        t.add_link(1, 2, ASRelationship.PEER)
+        irr = IrrDatabase()
+        # an object exists for the prefix but authorizes a different origin
+        irr.register(Route6Object(prefix=P, origin=999))
+        sim = Simulator()
+        network = BGPNetwork(t, sim, np.random.default_rng(0), irr=irr)
+        network.speaker(2).validate_irr = True
+        network.speaker(1).originate(P)
+        sim.run_until(60.0)
+        assert network.speaker(2).loc_rib.best(P) is None
+
+    def test_not_found_routes_pass(self):
+        """Prefixes without any route object are NOT filtered (§3.2)."""
+        t = ASTopology()
+        t.add_as(1, tier=1)
+        t.add_as(2, tier=1)
+        t.add_link(1, 2, ASRelationship.PEER)
+        irr = IrrDatabase()
+        sim = Simulator()
+        network = BGPNetwork(t, sim, np.random.default_rng(0), irr=irr)
+        network.speaker(2).validate_irr = True
+        network.speaker(1).originate(P)
+        sim.run_until(60.0)
+        assert network.speaker(2).loc_rib.best(P) is not None
+
+
+class TestErrors:
+    def test_unknown_speaker(self, network):
+        with pytest.raises(RoutingError):
+            network.speaker(999)
+
+    def test_bad_delay_range(self):
+        with pytest.raises(RoutingError):
+            BGPNetwork(line_topology(), Simulator(),
+                       np.random.default_rng(0), min_link_delay=5.0,
+                       max_link_delay=1.0)
+
+    def test_deliver_without_link(self, network):
+        from repro.bgp.messages import Withdrawal
+        with pytest.raises(RoutingError):
+            network.deliver(1, 5, Withdrawal(prefix=P))

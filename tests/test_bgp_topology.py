@@ -1,0 +1,96 @@
+"""Tests for repro.bgp.topology."""
+
+import numpy as np
+import pytest
+
+from repro.bgp.topology import (ASRelationship, ASTopology, attach_stub,
+                                build_topology)
+from repro.errors import RoutingError
+
+
+@pytest.fixture
+def topo():
+    return build_topology(np.random.default_rng(1))
+
+
+class TestASTopology:
+    def test_add_as_duplicate_rejected(self):
+        t = ASTopology()
+        t.add_as(1, tier=1)
+        with pytest.raises(RoutingError):
+            t.add_as(1, tier=1)
+
+    def test_self_loop_rejected(self):
+        t = ASTopology()
+        t.add_as(1, tier=1)
+        with pytest.raises(RoutingError):
+            t.add_link(1, 1, ASRelationship.PEER)
+
+    def test_relationship_symmetry(self):
+        t = ASTopology()
+        t.add_as(1, tier=1)
+        t.add_as(2, tier=2)
+        t.add_link(1, 2, ASRelationship.CUSTOMER)
+        assert t.relationship(1, 2) is ASRelationship.CUSTOMER
+        assert t.relationship(2, 1) is ASRelationship.PROVIDER
+
+    def test_peer_symmetry(self):
+        t = ASTopology()
+        t.add_as(1, tier=1)
+        t.add_as(2, tier=1)
+        t.add_link(1, 2, ASRelationship.PEER)
+        assert t.relationship(1, 2) is ASRelationship.PEER
+        assert t.relationship(2, 1) is ASRelationship.PEER
+
+    def test_unknown_adjacency(self):
+        t = ASTopology()
+        t.add_as(1, tier=1)
+        t.add_as(2, tier=1)
+        with pytest.raises(RoutingError):
+            t.relationship(1, 2)
+
+    def test_customer_provider_views(self, topo):
+        for asn in topo.ases():
+            for customer in topo.customers(asn):
+                assert asn in topo.providers(customer)
+
+
+class TestBuildTopology:
+    def test_counts(self, topo):
+        tiers = [topo.info[a].tier for a in topo.ases()]
+        assert tiers.count(1) == 4
+        assert tiers.count(2) == 12
+        assert tiers.count(3) == 60
+
+    def test_tier1_clique(self, topo):
+        tier1 = [a for a in topo.ases() if topo.info[a].tier == 1]
+        for i, a in enumerate(tier1):
+            for b in tier1[i + 1:]:
+                assert topo.relationship(a, b) is ASRelationship.PEER
+
+    def test_every_stub_has_a_provider(self, topo):
+        stubs = [a for a in topo.ases() if topo.info[a].tier == 3]
+        for stub in stubs:
+            assert topo.providers(stub)
+
+    def test_tier2_multihomed(self, topo):
+        tier2 = [a for a in topo.ases() if topo.info[a].tier == 2]
+        for asn in tier2:
+            assert len(topo.providers(asn)) == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(RoutingError):
+            build_topology(np.random.default_rng(0), num_tier1=1)
+
+
+class TestAttachStub:
+    def test_attach(self, topo):
+        attach_stub(topo, 65000, np.random.default_rng(0), name="me")
+        assert topo.info[65000].tier == 3
+        assert len(topo.providers(65000)) == 2
+
+    def test_attach_needs_tier2(self):
+        t = ASTopology()
+        t.add_as(1, tier=1)
+        with pytest.raises(RoutingError):
+            attach_stub(t, 65000, np.random.default_rng(0))

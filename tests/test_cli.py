@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_schedule_defaults(self):
+        args = build_parser().parse_args(["schedule"])
+        assert args.cycles == 16
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "--seed", "7", "--scale", "0.05"])
+        assert args.seed == 7
+        assert args.scale == 0.05
+
+
+class TestCommands:
+    def test_schedule_output(self, capsys):
+        assert main(["schedule", "--cycles", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle  0" in out
+        cycle_lines = [line for line in out.splitlines()
+                       if line.startswith("  cycle")]
+        assert len(cycle_lines) == 4
+
+    def test_schedule_custom_prefix(self, capsys):
+        assert main(["schedule", "--prefix", "2001:db8::/32",
+                     "--cycles", "1"]) == 0
+        assert "2001:db8::/33" in capsys.readouterr().out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "--scale", "0.02", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        for telescope in ("T1", "T2", "T3", "T4"):
+            assert telescope in out
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "--scale", "0.02", "--seed", "3",
+                     "--only", "fig9"]) == 0
+        assert "Fig 9" in capsys.readouterr().out
+
+    def test_guidance(self, capsys):
+        assert main(["guidance", "--scale", "0.02", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Operational guidance" in out
+        assert "bias report" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--scale", "0.03", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "temporal classifier" in out
+        assert "accuracy" in out
+
+    def test_save_and_load(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "corpus")
+        assert main(["save", "--scale", "0.02", "--seed", "3",
+                     "--out", out_dir]) == 0
+        assert "corpus written" in capsys.readouterr().out
+        assert main(["load", out_dir]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    def test_invalid_prefix_clean_error(self, capsys):
+        assert main(["schedule", "--prefix", "not-a-prefix"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "Traceback" not in err
+
+    def test_missing_corpus_clean_error(self, capsys):
+        assert main(["load", "/tmp/no-such-corpus-dir"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_invalid_scale_clean_error(self, capsys):
+        assert main(["run", "--scale", "-1"]) == 2
+        assert "scale must be > 0" in capsys.readouterr().err

@@ -1,0 +1,97 @@
+"""Tests for repro.core.addrclass."""
+
+import numpy as np
+import pytest
+
+from repro.core.addrclass import (AddressClass, classify_session,
+                                  classify_sessions, is_ordered_traversal,
+                                  structured_share, type_histogram)
+from repro.core.sessions import Session
+from repro.errors import ClassificationError
+from repro.net.addrgen import random_targets
+from repro.net.prefix import Prefix
+from repro.telescope.packet import ICMPV6, Packet
+
+P = Prefix.parse("3fff:1000::/32")
+
+
+def make_session(targets: list[int]) -> Session:
+    packets = [Packet(time=float(i), src=1, dst=t, protocol=ICMPV6)
+               for i, t in enumerate(targets)]
+    return Session(source=1, telescope="T1", packets=packets)
+
+
+class TestStructuredShare:
+    def test_all_low_byte(self):
+        targets = [P.subnet(64, i).network | 1 for i in range(10)]
+        assert structured_share(targets) == 1.0
+
+    def test_all_random(self):
+        rng = np.random.default_rng(0)
+        targets = random_targets(P, rng, 100)
+        assert structured_share(targets) < 0.1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClassificationError):
+            structured_share([])
+
+    def test_type_histogram_counts(self):
+        targets = [P.network | 1, P.network | 1, P.network]
+        histogram = type_histogram(targets)
+        assert sum(histogram.values()) == 3
+
+
+class TestOrderedTraversal:
+    def test_sequential_subnets(self):
+        targets = [P.subnet(64, i).network | (1 << 30) for i in range(20)]
+        assert is_ordered_traversal(targets)
+
+    def test_shuffled_not_ordered(self):
+        rng = np.random.default_rng(0)
+        targets = [P.subnet(64, int(i)).network | (1 << 30)
+                   for i in rng.permutation(50)]
+        assert not is_ordered_traversal(targets)
+
+    def test_too_short(self):
+        assert not is_ordered_traversal([1, 2, 3])
+
+
+class TestClassifySession:
+    def test_low_byte_session_structured(self):
+        targets = [P.subnet(64, i).network | 1 for i in range(50)]
+        assert classify_session(make_session(targets)) \
+            is AddressClass.STRUCTURED
+
+    def test_random_session_detected(self):
+        rng = np.random.default_rng(1)
+        targets = random_targets(P, rng, 200)
+        # shuffle defeats the traversal check; NIST must catch randomness
+        assert classify_session(make_session(targets)) \
+            is AddressClass.RANDOM
+
+    def test_small_random_session_unknown(self):
+        """Below 100 packets the NIST filter cannot attest randomness."""
+        rng = np.random.default_rng(1)
+        shuffled = random_targets(P, rng, 30)
+        rng.shuffle(shuffled)  # type: ignore[arg-type]
+        verdict = classify_session(make_session(list(shuffled)))
+        assert verdict in (AddressClass.UNKNOWN, AddressClass.STRUCTURED)
+
+    def test_histogram(self):
+        structured = make_session(
+            [P.subnet(64, i).network | 1 for i in range(10)])
+        histogram = classify_sessions([structured])
+        assert histogram[AddressClass.STRUCTURED] == 1
+
+
+class TestSingleSubnetSessions:
+    def test_random_single_subnet_not_structured(self):
+        """Random IIDs inside one fixed /64 must not count as an ordered
+        traversal (reviewed bug: equal subnets were 'monotone')."""
+        import numpy as np
+        rng = np.random.default_rng(3)
+        subnet = P.subnet(64, 7)
+        targets = [subnet.random_address(rng) for _ in range(150)]
+        assert not is_ordered_traversal(targets)
+        assert classify_session(make_session(targets)) \
+            is AddressClass.RANDOM

@@ -1,0 +1,111 @@
+"""Tests for repro.core.nist."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nist import (ALPHA, NistResults, bits_from_addresses,
+                             cusum_test, fft_test, frequency_test,
+                             run_battery, runs_test)
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def random_bits():
+    rng = np.random.default_rng(42)
+    return rng.integers(0, 2, size=6400).astype(np.int8)
+
+
+class TestBitsFromAddresses:
+    def test_iid_extraction(self):
+        addrs = [(0xFFFF << 112) | 0b1010]
+        bits = bits_from_addresses(addrs, take_bits=4, skip_high=124)
+        assert list(bits) == [1, 0, 1, 0]
+
+    def test_length(self):
+        addrs = [0] * 10
+        assert len(bits_from_addresses(addrs, take_bits=64,
+                                       skip_high=64)) == 640
+
+    def test_invalid_section(self):
+        with pytest.raises(AnalysisError):
+            bits_from_addresses([0], take_bits=100, skip_high=64)
+
+
+class TestFrequency:
+    def test_random_passes(self, random_bits):
+        assert frequency_test(random_bits) >= ALPHA
+
+    def test_biased_fails(self):
+        bits = np.zeros(1000, dtype=np.int8)
+        bits[:100] = 1
+        assert frequency_test(bits) < ALPHA
+
+    def test_minimum_length(self):
+        with pytest.raises(AnalysisError):
+            frequency_test(np.zeros(50, dtype=np.int8))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_p_value_in_range(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=200).astype(np.int8)
+        assert 0.0 <= frequency_test(bits) <= 1.0
+
+
+class TestRuns:
+    def test_random_passes(self, random_bits):
+        assert runs_test(random_bits) >= ALPHA
+
+    def test_alternating_fails(self):
+        bits = np.tile([0, 1], 500).astype(np.int8)
+        assert runs_test(bits) < ALPHA
+
+    def test_long_runs_fail(self):
+        bits = np.concatenate([np.zeros(500), np.ones(500)]).astype(np.int8)
+        assert runs_test(bits) < ALPHA
+
+
+class TestFft:
+    def test_random_passes(self, random_bits):
+        assert fft_test(random_bits) >= ALPHA
+
+    def test_periodic_fails(self):
+        bits = np.tile([0, 1], 500).astype(np.int8)
+        assert fft_test(bits) < ALPHA
+
+
+class TestCusum:
+    def test_random_passes(self, random_bits):
+        assert cusum_test(random_bits) >= ALPHA
+        assert cusum_test(random_bits, forward=False) >= ALPHA
+
+    def test_drifting_fails(self):
+        bits = np.ones(1000, dtype=np.int8)
+        bits[::10] = 0
+        assert cusum_test(bits) < ALPHA
+
+
+class TestBattery:
+    def test_random_is_random(self, random_bits):
+        results = run_battery(random_bits)
+        assert results.is_random()
+        assert all(results.passes().values())
+
+    def test_structured_addresses_fail(self):
+        addrs = [i + 1 for i in range(200)]  # low-byte style IIDs
+        bits = bits_from_addresses(addrs, take_bits=64, skip_high=64)
+        assert not run_battery(bits).is_random()
+
+    def test_random_addresses_pass(self):
+        rng = np.random.default_rng(0)
+        addrs = [int.from_bytes(rng.bytes(16), "big") for _ in range(200)]
+        bits = bits_from_addresses(addrs, take_bits=64, skip_high=64)
+        assert run_battery(bits).is_random()
+
+    def test_passes_dict_keys(self):
+        results = NistResults(frequency=1, runs=1, fft=1,
+                              cusum_forward=1, cusum_backward=1)
+        assert set(results.passes()) \
+            == {"frequency", "runs", "fft", "cusum0", "cusum1"}

@@ -1,0 +1,81 @@
+"""Tests for repro.core.overlap."""
+
+import pytest
+
+from repro.core.overlap import (day_overlap, sources_everywhere, upset)
+from repro.errors import AnalysisError
+from repro.sim.clock import DAY
+from repro.telescope.packet import ICMPV6, Packet
+
+
+def packet(time: float, src: int) -> Packet:
+    return Packet(time=time, src=src, dst=2, protocol=ICMPV6)
+
+
+class TestUpset:
+    def test_exclusive_intersections(self):
+        sets = {"A": {1, 2, 3}, "B": {3, 4}, "C": {5}}
+        data = upset(sets)
+        assert data.exclusive("A") == 2          # 1, 2
+        assert data.exclusive("A", "B") == 1     # 3
+        assert data.exclusive("C") == 1          # 5
+        assert data.exclusive("B", "C") == 0
+
+    def test_set_sizes_non_exclusive(self):
+        data = upset({"A": {1, 2}, "B": {2}})
+        assert data.set_sizes == {"A": 2, "B": 1}
+
+    def test_exclusive_share(self):
+        data = upset({"A": {1, 2}, "B": {2}})
+        assert data.exclusive_share("A") == 0.5
+        assert data.exclusive_share("B") == 0.0
+
+    def test_counts_partition_universe(self):
+        sets = {"A": {1, 2, 3, 4}, "B": {3, 4, 5}, "C": {4, 5, 6}}
+        data = upset(sets)
+        universe = set().union(*sets.values())
+        assert sum(data.intersections.values()) == len(universe)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            upset({})
+
+
+class TestSourcesEverywhere:
+    def test_intersection(self):
+        sets = {"A": {1, 2}, "B": {1, 3}, "C": {1}}
+        assert sources_everywhere(sets) == {1}
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            sources_everywhere({})
+
+
+class TestDayOverlap:
+    def test_same_day(self):
+        a = [packet(0.5 * DAY, src=1)]
+        b = [packet(0.7 * DAY, src=1)]
+        overlap = day_overlap(a, b)
+        assert overlap.same_day == 1
+        assert overlap.different_day == 0
+        assert overlap.same_day_share == 1.0
+
+    def test_different_day(self):
+        a = [packet(0.5 * DAY, src=1)]
+        b = [packet(1.5 * DAY, src=1)]
+        overlap = day_overlap(a, b)
+        assert overlap.same_day == 0
+        assert overlap.different_day == 1
+
+    def test_non_overlapping_sources_ignored(self):
+        a = [packet(0.0, src=1)]
+        b = [packet(0.0, src=2)]
+        overlap = day_overlap(a, b)
+        assert overlap.total == 0
+        assert overlap.same_day_share == 0.0
+
+    def test_until_cutoff(self):
+        a = [packet(0.5 * DAY, src=1), packet(5 * DAY, src=2)]
+        b = [packet(0.6 * DAY, src=1), packet(5.1 * DAY, src=2)]
+        overlap = day_overlap(a, b, until=2 * DAY)
+        assert overlap.total == 1

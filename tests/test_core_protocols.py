@@ -1,0 +1,85 @@
+"""Tests for repro.core.protocols."""
+
+import pytest
+
+from repro.core.protocols import (TRACEROUTE_BUCKET, bucket_port,
+                                  distinct_ports, protocol_stats, top_ports)
+from repro.core.sessions import sessionize
+from repro.errors import AnalysisError
+from repro.telescope.packet import ICMPV6, TCP, UDP, Packet, Protocol
+
+
+def packet(time, src=1, protocol=ICMPV6, port=0):
+    return Packet(time=float(time), src=src, dst=2, protocol=protocol,
+                  dst_port=port)
+
+
+@pytest.fixture
+def mixed_sessions():
+    packets = [
+        packet(0, src=1, protocol=ICMPV6),
+        packet(1, src=1, protocol=TCP, port=80),
+        packet(2, src=2, protocol=TCP, port=80),
+        packet(3, src=2, protocol=TCP, port=443),
+        packet(4, src=3, protocol=UDP, port=33434),
+        packet(5, src=3, protocol=UDP, port=53),
+    ]
+    return packets, sessionize(packets).sessions
+
+
+class TestProtocolStats:
+    def test_counts(self, mixed_sessions):
+        packets, sessions = mixed_sessions
+        stats = protocol_stats(packets, sessions)
+        assert stats.packets[Protocol.TCP] == 3
+        assert stats.packets[Protocol.ICMPV6] == 1
+        assert stats.packets[Protocol.UDP] == 2
+
+    def test_multi_protocol_sessions_count_per_protocol(self,
+                                                        mixed_sessions):
+        packets, sessions = mixed_sessions
+        stats = protocol_stats(packets, sessions)
+        # source 1's single session carries both ICMPv6 and TCP
+        assert stats.sessions[Protocol.ICMPV6] == 1
+        assert stats.sessions[Protocol.TCP] == 2
+        total_share = sum(stats.session_share(p) for p in Protocol)
+        assert total_share > 1.0
+
+    def test_sources(self, mixed_sessions):
+        packets, sessions = mixed_sessions
+        stats = protocol_stats(packets, sessions)
+        assert stats.sources[Protocol.TCP] == 2
+        assert stats.total_sources == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            protocol_stats([], [])
+
+
+class TestPorts:
+    def test_bucket_traceroute(self):
+        assert bucket_port(Protocol.UDP, 33434) == TRACEROUTE_BUCKET
+        assert bucket_port(Protocol.UDP, 53) == 53
+        assert bucket_port(Protocol.TCP, 33434) == 33434
+
+    def test_top_ports_once_per_session(self, mixed_sessions):
+        _, sessions = mixed_sessions
+        top = top_ports(sessions, Protocol.TCP)
+        ranked = {port: count for port, count, _ in top}
+        assert ranked[80] == 2
+        assert ranked[443] == 1
+
+    def test_top_ports_share(self, mixed_sessions):
+        _, sessions = mixed_sessions
+        top = top_ports(sessions, Protocol.TCP)
+        port, count, share = top[0]
+        assert port == 80 and share == pytest.approx(1.0)
+
+    def test_top_ports_empty(self):
+        assert top_ports([], Protocol.TCP) == []
+
+    def test_distinct_ports_buckets_traceroute(self):
+        packets = [packet(0, protocol=UDP, port=p)
+                   for p in (33434, 33435, 53)]
+        sessions = sessionize(packets).sessions
+        assert distinct_ports(sessions, Protocol.UDP) == 2

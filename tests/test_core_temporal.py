@@ -1,0 +1,86 @@
+"""Tests for repro.core.temporal."""
+
+import numpy as np
+import pytest
+
+from repro.core.sessions import Session
+from repro.core.temporal import (TemporalClass, classify_all,
+                                 classify_temporal, detect_period)
+from repro.errors import ClassificationError
+from repro.sim.clock import DAY, HOUR, WEEK
+from repro.telescope.packet import ICMPV6, Packet
+
+
+def session(start: float) -> Session:
+    return Session(source=1, telescope="T1",
+                   packets=[Packet(time=start, src=1, dst=2,
+                                   protocol=ICMPV6)])
+
+
+class TestDetectPeriod:
+    def test_too_few_events(self):
+        assert not detect_period([0.0, DAY]).detected
+
+    def test_perfectly_regular(self):
+        times = [i * DAY for i in range(10)]
+        estimate = detect_period(times)
+        assert estimate.detected
+        assert estimate.period == pytest.approx(DAY, rel=0.2)
+
+    def test_regular_with_jitter(self):
+        rng = np.random.default_rng(0)
+        times = [i * DAY + rng.uniform(-HOUR, HOUR) for i in range(15)]
+        assert detect_period(sorted(times)).detected
+
+    def test_random_gaps_not_periodic(self):
+        rng = np.random.default_rng(1)
+        times = np.cumsum(rng.exponential(3 * DAY, size=20))
+        assert not detect_period(list(times)).detected
+
+    def test_autocorrelation_path(self):
+        """Bursty but periodic pattern needs the ACF detector."""
+        times = []
+        for cycle in range(8):
+            base = cycle * WEEK
+            times.extend([base, base + HOUR, base + 2 * HOUR])
+        estimate = detect_period(times, bin_width=HOUR)
+        assert estimate.detected
+        assert estimate.period == pytest.approx(WEEK, rel=0.1)
+
+
+class TestClassifyTemporal:
+    def test_one_session_is_one_off(self):
+        assert classify_temporal([session(0.0)]) is TemporalClass.ONE_OFF
+
+    def test_two_sessions_are_intermittent(self):
+        result = classify_temporal([session(0.0), session(DAY)])
+        assert result is TemporalClass.INTERMITTENT
+
+    def test_regular_sessions_are_periodic(self):
+        sessions = [session(i * 2 * DAY) for i in range(10)]
+        assert classify_temporal(sessions) is TemporalClass.PERIODIC
+
+    def test_irregular_sessions_are_intermittent(self):
+        rng = np.random.default_rng(2)
+        starts = np.cumsum(rng.exponential(5 * DAY, size=12))
+        sessions = [session(float(t)) for t in starts]
+        assert classify_temporal(sessions) is TemporalClass.INTERMITTENT
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClassificationError):
+            classify_temporal([])
+
+
+class TestClassifyAll:
+    def test_mixed_population(self):
+        rng = np.random.default_rng(7)
+        irregular = np.cumsum(rng.exponential(4 * DAY, size=10))
+        by_source = {
+            1: [session(0.0)],
+            2: [session(i * DAY) for i in range(8)],
+            3: [session(float(t)) for t in irregular],
+        }
+        classes = classify_all(by_source)
+        assert classes[1] is TemporalClass.ONE_OFF
+        assert classes[2] is TemporalClass.PERIODIC
+        assert classes[3] is TemporalClass.INTERMITTENT

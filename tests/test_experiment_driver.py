@@ -1,0 +1,87 @@
+"""Integration tests for repro.experiment.driver."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiment import ExperimentConfig, run_experiment
+from repro.experiment.phases import Phase
+from repro.scanners.base import SourceModel
+
+
+class TestRunExperiment:
+    def test_produces_all_telescopes(self, tiny_corpus):
+        assert tiny_corpus.telescopes() == ("T1", "T2", "T3", "T4")
+        for t in tiny_corpus.telescopes():
+            assert isinstance(tiny_corpus.packets(t), list)
+
+    def test_nonempty_main_telescopes(self, tiny_corpus):
+        assert len(tiny_corpus.packets("T1")) > 100
+        assert len(tiny_corpus.packets("T2")) > 100
+
+    def test_packet_times_inside_duration(self, tiny_corpus):
+        for p in tiny_corpus.all_packets():
+            assert 0.0 <= p.time <= tiny_corpus.config.duration * 1.01
+
+    def test_deterministic_given_seed(self):
+        a = run_experiment(ExperimentConfig.tiny(seed=9))
+        b = run_experiment(ExperimentConfig.tiny(seed=9))
+        assert a.corpus.total_packets() == b.corpus.total_packets()
+        pa = a.corpus.packets("T1")[:50]
+        pb = b.corpus.packets("T1")[:50]
+        assert [(p.time, p.src, p.dst) for p in pa] \
+            == [(p.time, p.src, p.dst) for p in pb]
+
+    def test_different_seeds_differ(self):
+        a = run_experiment(ExperimentConfig.tiny(seed=1))
+        b = run_experiment(ExperimentConfig.tiny(seed=2))
+        assert a.corpus.total_packets() != b.corpus.total_packets()
+
+    def test_ground_truth_accessors(self, tiny_result):
+        truth = tiny_result.ground_truth_temporal()
+        assert truth
+        scanner = tiny_result.population[0]
+        assert tiny_result.scanner_by_id(scanner.scanner_id) is scanner
+        assert tiny_result.scanner_by_id(-42) is None
+
+    def test_rdns_registered_for_fixed_sources(self, tiny_result):
+        corpus = tiny_result.corpus
+        named = [s for s in tiny_result.population
+                 if s.rdns_name and s.source_model is SourceModel.FIXED]
+        assert named
+        scanner = named[0]
+        assert corpus.rdns(scanner.source_address()) == scanner.rdns_name
+
+    def test_src_asn_stamped(self, tiny_corpus):
+        for p in tiny_corpus.packets("T1")[:200]:
+            assert p.src_asn > 0
+            record = tiny_corpus.registry.lookup_source(p.src)
+            assert record is not None
+            assert record.asn == p.src_asn
+
+
+class TestCorpus:
+    def test_phase_packets_partition(self, tiny_corpus):
+        full = len(tiny_corpus.packets("T1"))
+        initial = len(tiny_corpus.phase_packets("T1", Phase.INITIAL))
+        split = len(tiny_corpus.phase_packets("T1", Phase.SPLIT))
+        assert initial + split == full
+
+    def test_unknown_telescope_rejected(self, tiny_corpus):
+        with pytest.raises(AnalysisError):
+            tiny_corpus.packets("T9")
+
+    def test_cycle_lookup(self, tiny_corpus):
+        assert tiny_corpus.cycle_at(60.0).index == 0
+        assert tiny_corpus.cycle_at(tiny_corpus.config.duration + 1) is None
+
+    def test_split_cycles(self, tiny_corpus):
+        cycles = tiny_corpus.split_cycles()
+        assert len(cycles) == tiny_corpus.config.num_cycles
+        assert all(c.index > 0 for c in cycles)
+
+    def test_most_specific_announced(self, tiny_corpus):
+        cycle = tiny_corpus.split_cycles()[-1]
+        deepest = max(cycle.prefixes, key=lambda p: p.length)
+        hit = tiny_corpus.most_specific_announced(
+            deepest.low_byte_address, cycle.announce_time + 60)
+        assert hit == deepest

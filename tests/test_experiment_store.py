@@ -1,0 +1,87 @@
+"""Tests for repro.experiment.store (corpus persistence)."""
+
+import pytest
+
+from repro.analysis.context import CorpusAnalysis
+from repro.analysis.tables import table2, table7
+from repro.errors import AnalysisError
+from repro.experiment.store import load_corpus, save_corpus
+
+
+@pytest.fixture(scope="module")
+def roundtripped(tmp_path_factory, tiny_corpus):
+    path = tmp_path_factory.mktemp("corpus") / "run1"
+    save_corpus(tiny_corpus, path)
+    return load_corpus(path)
+
+
+class TestRoundtrip:
+    def test_packet_counts_preserved(self, tiny_corpus, roundtripped):
+        for telescope in tiny_corpus.telescopes():
+            assert len(roundtripped.packets(telescope)) \
+                == len(tiny_corpus.packets(telescope))
+
+    def test_packet_fields_preserved(self, tiny_corpus, roundtripped):
+        original = tiny_corpus.packets("T1")[:100]
+        loaded = roundtripped.packets("T1")[:100]
+        for a, b in zip(original, loaded):
+            assert a.time == b.time
+            assert a.src == b.src
+            assert a.dst == b.dst
+            assert a.protocol == b.protocol
+            assert a.dst_port == b.dst_port
+            assert a.src_asn == b.src_asn
+            assert a.scanner_id == b.scanner_id
+
+    def test_payloads_preserved(self, tiny_corpus, roundtripped):
+        original = [p.payload for p in tiny_corpus.packets("T1")
+                    if p.payload]
+        loaded = [p.payload for p in roundtripped.packets("T1")
+                  if p.payload]
+        assert original[:50] == loaded[:50]
+        assert len(original) == len(loaded)
+
+    def test_schedule_preserved(self, tiny_corpus, roundtripped):
+        assert roundtripped.schedule == tiny_corpus.schedule
+
+    def test_registry_preserved(self, tiny_corpus, roundtripped):
+        for packet in tiny_corpus.packets("T1")[:50]:
+            original = tiny_corpus.registry.lookup_source(packet.src)
+            loaded = roundtripped.registry.lookup_source(packet.src)
+            assert original is not None and loaded is not None
+            assert original.asn == loaded.asn
+            assert original.network_type == loaded.network_type
+
+    def test_rdns_preserved(self, tiny_corpus, roundtripped):
+        named = [p.src for p in tiny_corpus.packets("T1")
+                 if tiny_corpus.rdns(p.src)]
+        assert named, "tiny corpus should contain RDNS-named sources"
+        for src in named[:10]:
+            assert roundtripped.rdns(src) == tiny_corpus.rdns(src)
+
+    def test_analyses_agree(self, tiny_corpus, roundtripped):
+        original = table2(CorpusAnalysis(tiny_corpus))
+        loaded = table2(CorpusAnalysis(roundtripped))
+        assert original.packets == loaded.packets
+        assert original.sessions == loaded.sessions
+
+    def test_tool_identification_survives(self, tiny_corpus,
+                                          roundtripped):
+        original = table7(CorpusAnalysis(tiny_corpus))
+        loaded = table7(CorpusAnalysis(roundtripped))
+        assert set(original.per_tool) == set(loaded.per_tool)
+
+
+class TestErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            load_corpus(tmp_path / "nothing-here")
+
+    def test_bad_format_version(self, tmp_path, tiny_corpus):
+        path = tmp_path / "run"
+        save_corpus(tiny_corpus, path)
+        meta = path / "meta.json"
+        meta.write_text(meta.read_text().replace(
+            '"format_version": 1', '"format_version": 99'))
+        with pytest.raises(AnalysisError):
+            load_corpus(path)

@@ -1,0 +1,77 @@
+"""Tests for repro.hitlist."""
+
+import numpy as np
+import pytest
+
+from repro.bgp.collector import RouteCollector
+from repro.bgp.speaker import BGPNetwork
+from repro.bgp.topology import ASRelationship, ASTopology
+from repro.errors import ExperimentError
+from repro.hitlist.service import HitlistService
+from repro.net.prefix import Prefix
+from repro.sim.clock import DAY
+from repro.sim.events import Simulator
+
+P = Prefix.parse("2001:db8::/32")
+
+
+@pytest.fixture
+def world():
+    t = ASTopology()
+    t.add_as(1, tier=1)
+    t.add_as(2, tier=3)
+    t.add_link(1, 2, ASRelationship.CUSTOMER)
+    sim = Simulator()
+    network = BGPNetwork(t, sim, np.random.default_rng(0))
+    collector = RouteCollector(network=network, simulator=sim,
+                               feed_delay=60.0)
+    hitlist = HitlistService(simulator=sim)
+    hitlist.attach(collector)
+    return sim, network, hitlist
+
+
+class TestPublication:
+    def test_published_after_delay(self, world):
+        sim, network, hitlist = world
+        network.speaker(2).originate(P)
+        sim.run_until(4 * DAY)
+        assert hitlist.first_published(P) is None
+        sim.run_until(6 * DAY)
+        assert hitlist.first_published(P) is not None
+        lag = hitlist.publication_lag(P, announced_at=0.0)
+        assert 4.9 <= lag <= 5.1
+
+    def test_seeded_entries_visible_immediately(self, world):
+        sim, _, hitlist = world
+        hitlist.seed(P)
+        assert P in {e.prefix for e in hitlist.published()}
+        assert hitlist.publication_lag(P, 0.0) == 0.0
+
+    def test_aliased_flag_separates_lists(self, world):
+        sim, _, hitlist = world
+        hitlist.seed(P, aliased=True)
+        assert P not in hitlist.non_aliased_prefixes()
+
+    def test_no_duplicate_publication(self, world):
+        sim, network, hitlist = world
+        speaker = network.speaker(2)
+        speaker.originate(P)
+        sim.run_until(10 * DAY)
+        first = hitlist.first_published(P)
+        speaker.withdraw_origin(P)
+        sim.run_until(12 * DAY)
+        speaker.originate(P)
+        sim.run_until(20 * DAY)
+        assert hitlist.first_published(P) == first
+
+    def test_unpublished_lag_raises(self, world):
+        _, _, hitlist = world
+        with pytest.raises(ExperimentError):
+            hitlist.publication_lag(P, 0.0)
+
+    def test_published_respects_query_time(self, world):
+        sim, network, hitlist = world
+        network.speaker(2).originate(P)
+        sim.run_until(10 * DAY)
+        assert hitlist.published(at=1 * DAY) == []
+        assert len(hitlist.published(at=10 * DAY)) == 1

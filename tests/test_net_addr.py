@@ -1,0 +1,117 @@
+"""Tests for repro.net.addr."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.net.addr import (MAX_ADDR, addr_to_int, addr_to_str, embedded_ipv4,
+                            explode, from_nibbles, iid_of, nibbles_of,
+                            parse_addr, random_bits, subnet_bits)
+
+addresses = st.integers(min_value=0, max_value=MAX_ADDR)
+
+
+class TestParsing:
+    def test_parse_simple(self):
+        assert parse_addr("::1") == 1
+
+    def test_parse_full(self):
+        assert parse_addr("2001:db8::1") == (0x20010DB8 << 96) | 1
+
+    def test_parse_invalid(self):
+        with pytest.raises(AddressError):
+            parse_addr("not-an-address")
+
+    def test_parse_ipv4_literal_rejected(self):
+        with pytest.raises(AddressError):
+            parse_addr("192.0.2.1")
+
+    def test_addr_to_int_passthrough(self):
+        assert addr_to_int(42) == 42
+
+    def test_addr_to_int_range_check(self):
+        with pytest.raises(AddressError):
+            addr_to_int(MAX_ADDR + 1)
+        with pytest.raises(AddressError):
+            addr_to_int(-1)
+
+    @given(addresses)
+    def test_roundtrip(self, value):
+        assert parse_addr(addr_to_str(value)) == value
+
+
+class TestFormatting:
+    def test_explode(self):
+        assert explode(1) == "0000:0000:0000:0000:0000:0000:0000:0001"
+
+    def test_explode_range_check(self):
+        with pytest.raises(AddressError):
+            explode(-1)
+
+    @given(addresses)
+    def test_explode_parses_back(self, value):
+        assert parse_addr(explode(value)) == value
+
+
+class TestNibbles:
+    def test_nibbles_of_one(self):
+        nibbles = nibbles_of(1)
+        assert len(nibbles) == 32
+        assert nibbles[-1] == 1
+        assert sum(nibbles) == 1
+
+    @given(addresses)
+    def test_nibbles_roundtrip(self, value):
+        assert from_nibbles(nibbles_of(value)) == value
+
+    def test_from_nibbles_wrong_length(self):
+        with pytest.raises(AddressError):
+            from_nibbles([0] * 31)
+
+    def test_from_nibbles_out_of_range(self):
+        with pytest.raises(AddressError):
+            from_nibbles([16] + [0] * 31)
+
+
+class TestSections:
+    def test_iid_of(self):
+        addr = (0xAAAA << 112) | 0x1234
+        assert iid_of(addr) == 0x1234
+
+    @given(addresses)
+    def test_iid_is_low_64(self, value):
+        assert iid_of(value) == value & ((1 << 64) - 1)
+
+    def test_subnet_bits(self):
+        addr = parse_addr("2001:db8:0:ab::1")
+        assert subnet_bits(addr, 48, 64) == 0xAB
+
+    def test_subnet_bits_zero_width(self):
+        assert subnet_bits(parse_addr("::1"), 64, 64) == 0
+
+    def test_subnet_bits_invalid(self):
+        with pytest.raises(AddressError):
+            subnet_bits(1, 64, 48)
+
+    def test_embedded_ipv4_rendering(self):
+        assert embedded_ipv4(0xC0000201) == "192.0.2.1"
+
+
+class TestRandomBits:
+    def test_width_respected(self):
+        rng = np.random.default_rng(0)
+        for bits in (0, 1, 31, 32, 33, 64, 65, 128):
+            for _ in range(20):
+                value = random_bits(rng, bits)
+                assert 0 <= value < (1 << bits) if bits else value == 0
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(AddressError):
+            random_bits(np.random.default_rng(0), -1)
+
+    def test_high_bits_actually_used(self):
+        rng = np.random.default_rng(0)
+        values = [random_bits(rng, 128) for _ in range(50)]
+        assert any(v >> 120 for v in values)

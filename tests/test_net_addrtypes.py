@@ -1,0 +1,107 @@
+"""Tests for repro.net.addrtypes (RFC 7707 classification)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addr import parse_addr
+from repro.net.addrtypes import AddressType, classify_address
+
+BASE = parse_addr("2001:db8::")
+
+
+def addr(iid: int) -> int:
+    return BASE | iid
+
+
+class TestSubnetAnycast:
+    def test_zero_iid(self):
+        assert classify_address(addr(0)) is AddressType.SUBNET_ANYCAST
+
+    def test_nonzero_subnet_zero_iid(self):
+        value = parse_addr("2001:db8:0:42::")
+        assert classify_address(value) is AddressType.SUBNET_ANYCAST
+
+
+class TestLowByte:
+    @pytest.mark.parametrize("iid", [1, 2, 0x10, 0xFF, 0x100, 0xFFFF])
+    def test_small_values(self, iid):
+        if iid in (0x443,):
+            return
+        assert classify_address(addr(iid)) is AddressType.LOW_BYTE
+
+    def test_very_low_service_numbers_stay_low_byte(self):
+        # ::53 and ::80 read as host numbers, not ports
+        assert classify_address(addr(0x53)) is AddressType.LOW_BYTE
+        assert classify_address(addr(0x80)) is AddressType.LOW_BYTE
+
+
+class TestEmbeddedPort:
+    @pytest.mark.parametrize("iid", [0x443, 0x8080, 0x3306, 0x123])
+    def test_hex_spelled_ports(self, iid):
+        assert classify_address(addr(iid)) is AddressType.EMBEDDED_PORT
+
+    def test_binary_port(self):
+        assert classify_address(addr(443)) is AddressType.EMBEDDED_PORT
+
+
+class TestEmbeddedIPv4:
+    def test_decimal_spelled(self):
+        value = parse_addr("2001:db8::192:0:2:1")
+        assert classify_address(value) is AddressType.EMBEDDED_IPV4
+
+    def test_binary_embed(self):
+        value = addr(0xC0000201)  # 192.0.2.1
+        assert classify_address(value) is AddressType.EMBEDDED_IPV4
+
+    def test_octet_too_large_not_ipv4(self):
+        value = parse_addr("2001:db8::999:0:2:1")
+        assert classify_address(value) is not AddressType.EMBEDDED_IPV4
+
+
+class TestIeeeDerived:
+    def test_eui64(self):
+        value = parse_addr("2001:db8::0211:22ff:fe33:4455")
+        assert classify_address(value) is AddressType.IEEE_DERIVED
+
+
+class TestIsatap:
+    def test_isatap_iid(self):
+        value = parse_addr("2001:db8::5efe:c000:201")
+        assert classify_address(value) is AddressType.ISATAP
+
+    def test_isatap_private_flag(self):
+        value = addr((0x02005EFE << 32) | 0xC0000201)
+        assert classify_address(value) is AddressType.ISATAP
+
+
+class TestPatternBytes:
+    def test_wordy(self):
+        assert classify_address(addr(0xCAFE)) is AddressType.PATTERN_BYTES
+
+    def test_repeated_word(self):
+        value = parse_addr("2001:db8::cafe:cafe:cafe:cafe")
+        assert classify_address(value) is AddressType.PATTERN_BYTES
+
+    def test_few_distinct_nibbles(self):
+        value = parse_addr("2001:db8::aaaa:abab:aaab:baaa")
+        assert classify_address(value) is AddressType.PATTERN_BYTES
+
+
+class TestRandomized:
+    def test_high_entropy_iid(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            iid = int(rng.integers(1 << 60, (1 << 63)))
+            got = classify_address(addr(iid))
+            assert got is AddressType.RANDOMIZED, hex(iid)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_total_function(self, iid):
+        # every IID classifies into exactly one category without error
+        assert classify_address(addr(iid)) in AddressType
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            classify_address(-1)

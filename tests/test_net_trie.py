@@ -1,0 +1,124 @@
+"""Tests for repro.net.trie."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PrefixError
+from repro.net.addr import MAX_ADDR, parse_addr
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+addresses = st.integers(min_value=0, max_value=MAX_ADDR)
+
+
+@st.composite
+def prefix_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    result = []
+    for _ in range(count):
+        length = draw(st.integers(min_value=0, max_value=64))
+        network = draw(addresses)
+        result.append(Prefix(network, length))
+    return result
+
+
+class TestBasicOperations:
+    def test_insert_get(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("2001:db8::/32")
+        trie.insert(p, "x")
+        assert trie.get(p) == "x"
+        assert len(trie) == 1
+
+    def test_get_default(self):
+        assert PrefixTrie().get(Prefix.parse("::/0"), default=7) == 7
+
+    def test_insert_replaces(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("::/0")
+        trie.insert(p, 1)
+        trie.insert(p, 2)
+        assert trie.get(p) == 2
+        assert len(trie) == 1
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("2001:db8::/32")
+        trie.insert(p, "x")
+        assert trie.remove(p) == "x"
+        assert len(trie) == 0
+        with pytest.raises(KeyError):
+            trie.remove(p)
+
+    def test_contains(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("2001:db8::/32")
+        assert p not in trie
+        trie.insert(p, None)  # None value still counts as present
+        assert p in trie
+
+    def test_non_prefix_key_rejected(self):
+        with pytest.raises(PrefixError):
+            PrefixTrie().get("2001:db8::/32")  # type: ignore[arg-type]
+
+
+class TestLongestMatch:
+    def test_most_specific_wins(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("2001:db8::/32"), "outer")
+        trie.insert(Prefix.parse("2001:db8::/48"), "inner")
+        hit = trie.longest_match(parse_addr("2001:db8::1"))
+        assert hit is not None
+        prefix, value = hit
+        assert value == "inner"
+        assert prefix.length == 48
+
+    def test_falls_back_to_covering(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("2001:db8::/32"), "outer")
+        trie.insert(Prefix.parse("2001:db8::/48"), "inner")
+        hit = trie.longest_match(parse_addr("2001:db8:1::1"))
+        assert hit[1] == "outer"
+
+    def test_miss(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("2001:db8::/32"), "x")
+        assert trie.longest_match(parse_addr("2001:db9::1")) is None
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("::/0"), "default")
+        assert trie.longest_match(12345)[1] == "default"
+
+    @given(prefix_lists(), addresses)
+    def test_matches_linear_scan(self, prefixes, addr):
+        trie = PrefixTrie()
+        for i, p in enumerate(prefixes):
+            trie.insert(p, i)
+        hit = trie.longest_match(addr)
+        covering = [p for p in set(prefixes) if p.contains_address(addr)]
+        if not covering:
+            assert hit is None
+        else:
+            expected = max(covering, key=lambda p: p.length)
+            assert hit[0].length == expected.length
+            assert hit[0].contains_address(addr)
+
+
+class TestIteration:
+    def test_items_yields_all(self):
+        trie = PrefixTrie()
+        entries = {Prefix.parse("::/0"): 0,
+                   Prefix.parse("2001:db8::/32"): 1,
+                   Prefix.parse("2001:db8:8000::/33"): 2}
+        for p, v in entries.items():
+            trie.insert(p, v)
+        assert dict(trie.items()) == entries
+
+    @given(prefix_lists())
+    def test_items_count_matches_len(self, prefixes):
+        trie = PrefixTrie()
+        for i, p in enumerate(prefixes):
+            trie.insert(p, i)
+        assert len(list(trie.items())) == len(trie) == len(set(prefixes))

@@ -1,0 +1,97 @@
+"""Tests for repro.scanners.registry and tools."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.scanners.registry import (ASRegistry, NetworkType,
+                                     source_prefix_for_asn)
+from repro.scanners.tools import (RIPE_ATLAS, TOOL_SIGNATURES, YARRP6,
+                                  identify_payload)
+
+
+class TestSourcePrefix:
+    def test_deterministic(self):
+        assert source_prefix_for_asn(1234) == source_prefix_for_asn(1234)
+
+    def test_distinct_per_asn(self):
+        assert source_prefix_for_asn(1) != source_prefix_for_asn(2)
+
+    def test_length_48(self):
+        assert source_prefix_for_asn(77).length == 48
+
+    def test_invalid_asn(self):
+        with pytest.raises(ExperimentError):
+            source_prefix_for_asn(0)
+
+
+class TestASRegistry:
+    def test_allocate(self):
+        registry = ASRegistry()
+        record = registry.allocate(NetworkType.HOSTING, country="DE")
+        assert record.network_type is NetworkType.HOSTING
+        assert record.country == "DE"
+        assert registry.get(record.asn) is record
+
+    def test_allocate_many_respects_mix(self):
+        registry = ASRegistry()
+        rng = np.random.default_rng(0)
+        records = registry.allocate_many(
+            500, rng, type_mix={NetworkType.HOSTING: 0.8,
+                                NetworkType.ISP: 0.2})
+        hosting = sum(1 for r in records
+                      if r.network_type is NetworkType.HOSTING)
+        assert 320 < hosting < 480
+
+    def test_lookup_source(self):
+        registry = ASRegistry()
+        record = registry.allocate(NetworkType.ISP)
+        addr = record.source_prefix.network | 42
+        assert registry.lookup_source(addr) is record
+        assert registry.network_type_of(addr) is NetworkType.ISP
+
+    def test_lookup_unknown_space(self):
+        registry = ASRegistry()
+        registry.allocate(NetworkType.ISP)
+        assert registry.lookup_source(1) is None
+        assert registry.network_type_of(1) is NetworkType.UNKNOWN
+
+    def test_unknown_asn_raises(self):
+        with pytest.raises(ExperimentError):
+            ASRegistry().get(5)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ExperimentError):
+            ASRegistry().allocate_many(-1, np.random.default_rng(0))
+
+    def test_countries_collected(self):
+        registry = ASRegistry()
+        registry.allocate_many(50, np.random.default_rng(0))
+        assert len(registry.countries()) > 1
+
+
+class TestToolSignatures:
+    def test_payload_carries_magic(self):
+        rng = np.random.default_rng(0)
+        payload = YARRP6.payload(rng, seq=7)
+        assert payload.startswith(YARRP6.magic)
+        assert YARRP6.matches(payload)
+
+    def test_identify_payload(self):
+        rng = np.random.default_rng(0)
+        for signature in TOOL_SIGNATURES:
+            payload = signature.payload(rng)
+            assert identify_payload(payload) is signature
+
+    def test_unknown_payload(self):
+        assert identify_payload(b"\x00\x01\x02\x03") is None
+
+    def test_magics_unambiguous(self):
+        for a in TOOL_SIGNATURES:
+            for b in TOOL_SIGNATURES:
+                if a is not b:
+                    assert not a.magic.startswith(b.magic)
+
+    def test_rdns_template(self):
+        assert RIPE_ATLAS.rdns_for(3) == "probe-3.atlas.ripe.net"
+        assert YARRP6.rdns_for(3) == ""

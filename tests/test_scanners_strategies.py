@@ -1,0 +1,155 @@
+"""Tests for repro.scanners.strategies."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.net.addrtypes import AddressType, classify_address
+from repro.net.prefix import Prefix
+from repro.scanners.strategies import (FixedTargetsStrategy, LowByteStrategy,
+                                       MixStrategy, PortDistribution,
+                                       ProtocolProfile, RandomStrategy,
+                                       StructuredSweepStrategy,
+                                       TypeMixStrategy, TCP_PORTS)
+from repro.telescope.packet import Protocol, is_traceroute_port
+
+P = Prefix.parse("3fff:1000::/32")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestLowByteStrategy:
+    def test_targets_are_low_byte(self, rng):
+        targets = LowByteStrategy().generate(P, 20, rng)
+        assert len(targets) == 20
+        assert all(classify_address(t) is AddressType.LOW_BYTE
+                   for t in targets)
+
+    def test_anycast_share(self, rng):
+        strategy = LowByteStrategy(anycast_share=1.0)
+        targets = strategy.generate(P, 10, rng)
+        assert all(classify_address(t) is AddressType.SUBNET_ANYCAST
+                   for t in targets)
+
+    def test_subnets_ordered(self, rng):
+        targets = LowByteStrategy().generate(P, 10, rng)
+        subnets = [t >> 64 for t in targets]
+        assert subnets == sorted(subnets)
+
+    def test_host_cycle(self, rng):
+        strategy = LowByteStrategy(hosts=(1, 2))
+        targets = strategy.generate(P, 4, rng)
+        assert [t & 0xFF for t in targets] == [1, 2, 1, 2]
+
+
+class TestRandomStrategy:
+    def test_inside_prefix(self, rng):
+        targets = RandomStrategy().generate(P, 50, rng)
+        assert all(P.contains_address(t) for t in targets)
+
+    def test_mostly_randomized_type(self, rng):
+        targets = RandomStrategy().generate(P, 100, rng)
+        histogram = Counter(classify_address(t) for t in targets)
+        assert histogram[AddressType.RANDOMIZED] > 90
+
+    def test_structured_subnets_variant(self, rng):
+        strategy = RandomStrategy(structured_subnets=True)
+        targets = strategy.generate(P, 20, rng)
+        subnets = [t >> 64 for t in targets]
+        assert subnets == sorted(subnets)
+        iids = {t & ((1 << 64) - 1) for t in targets}
+        assert len(iids) == 20
+
+
+class TestFixedTargets:
+    def test_cycles_through_pool(self, rng):
+        strategy = FixedTargetsStrategy(targets=(1, 2))
+        assert strategy.generate(P, 4, rng) == [1, 2, 1, 2]
+
+    def test_prefers_in_prefix_targets(self, rng):
+        inside = P.network | 5
+        strategy = FixedTargetsStrategy(targets=(inside, 99))
+        assert strategy.generate(P, 2, rng) == [inside, inside]
+
+
+class TestTypeMixStrategy:
+    def test_distribution_shape(self, rng):
+        strategy = TypeMixStrategy()
+        targets = strategy.generate(P, 400, rng)
+        histogram = Counter(classify_address(t) for t in targets)
+        assert histogram[AddressType.LOW_BYTE] > 100
+        assert histogram[AddressType.EMBEDDED_IPV4] > 5
+        assert AddressType.RANDOMIZED in histogram
+
+    def test_unknown_kind_rejected(self, rng):
+        strategy = TypeMixStrategy(weights={"bogus": 1.0})
+        with pytest.raises(ExperimentError):
+            strategy.generate(P, 1, rng)
+
+
+class TestMixStrategy:
+    def test_draws_from_parts(self, rng):
+        mix = MixStrategy(parts=((1.0, LowByteStrategy()),))
+        targets = mix.generate(P, 5, rng)
+        assert len(targets) == 5
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ExperimentError):
+            MixStrategy(parts=()).generate(P, 1, rng)
+
+
+class TestPortDistribution:
+    def test_weights_respected(self, rng):
+        dist = PortDistribution(ports=(80, 443), weights=(0.9, 0.1))
+        draws = Counter(dist.sample(rng) for _ in range(1000))
+        assert draws[80] > draws[443] * 3
+
+    def test_broad_share(self, rng):
+        dist = PortDistribution(ports=(80,), weights=(1.0,),
+                                broad_share=1.0, broad_range=(1, 10))
+        draws = {dist.sample(rng) for _ in range(100)}
+        assert draws <= set(range(1, 11))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ExperimentError):
+            PortDistribution(ports=(80,), weights=(0.5, 0.5))
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ExperimentError):
+            PortDistribution(ports=(80,), weights=(0.0,))
+
+
+class TestProtocolProfile:
+    def test_icmpv6_only(self, rng):
+        profile = ProtocolProfile(icmpv6=1.0)
+        for _ in range(20):
+            protocol, port = profile.sample(rng)
+            assert protocol is Protocol.ICMPV6
+            assert port == 0
+
+    def test_tcp_ports_from_distribution(self, rng):
+        profile = ProtocolProfile(icmpv6=0.0, tcp=1.0, tcp_ports=TCP_PORTS)
+        ports = Counter(profile.sample(rng)[1] for _ in range(500))
+        assert ports.most_common(1)[0][0] == 80
+
+    def test_udp_traceroute_share(self, rng):
+        profile = ProtocolProfile(icmpv6=0.0, udp=1.0,
+                                  udp_traceroute_share=1.0)
+        for _ in range(20):
+            protocol, port = profile.sample(rng)
+            assert protocol is Protocol.UDP
+            assert is_traceroute_port(port)
+
+    def test_no_weight_rejected(self, rng):
+        with pytest.raises(ExperimentError):
+            ProtocolProfile(icmpv6=0.0).sample(rng)
+
+    def test_mixture_covers_all(self, rng):
+        profile = ProtocolProfile(icmpv6=0.4, tcp=0.3, udp=0.3)
+        protocols = {profile.sample(rng)[0] for _ in range(200)}
+        assert protocols == {Protocol.ICMPV6, Protocol.TCP, Protocol.UDP}

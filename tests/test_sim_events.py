@@ -1,0 +1,105 @@
+"""Tests for repro.sim.events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5.0, lambda: fired.append("b"))
+        queue.schedule(1.0, lambda: fired.append("a"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["a", "b"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for i in range(5):
+            queue.schedule(1.0, lambda i=i: order.append(i))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        event.cancel()
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(3.0, lambda: None)
+        assert queue.peek_time() == 3.0
+
+
+class TestSimulator:
+    def test_run_until_executes_in_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(2.0, lambda: seen.append(2))
+        sim.schedule_at(1.0, lambda: seen.append(1))
+        executed = sim.run_until(10.0)
+        assert executed == 2
+        assert seen == [1, 2]
+        assert sim.now == 10.0
+
+    def test_events_beyond_horizon_stay_queued(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(5))
+        sim.run_until(4.0)
+        assert seen == []
+        sim.run_until(6.0)
+        assert seen == [5]
+
+    def test_schedule_in_relative(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        seen = []
+        sim.schedule_in(5.0, lambda: seen.append(sim.now))
+        sim.run_until(20.0)
+        assert seen == [15.0]
+
+    def test_cascading_events(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.schedule_in(1.0, lambda: seen.append("second"))
+
+        sim.schedule_at(1.0, first)
+        sim.run_until(5.0)
+        assert seen == ["first", "second"]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+    def test_horizon_in_past_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_clock_lands_exactly_on_horizon(self):
+        sim = Simulator()
+        sim.run_until(123.456)
+        assert sim.now == 123.456

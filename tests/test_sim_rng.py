@@ -1,0 +1,46 @@
+"""Tests for repro.sim.rng."""
+
+from repro.sim.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(1).get("x").random(10)
+        b = RngStreams(1).get("x").random(10)
+        assert list(a) == list(b)
+
+    def test_different_names_independent(self):
+        streams = RngStreams(1)
+        a = streams.get("a").random(10)
+        b = streams.get("b").random(10)
+        assert list(a) != list(b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).get("x").random(10)
+        b = RngStreams(2).get("x").random(10)
+        assert list(a) != list(b)
+
+    def test_get_is_cached(self):
+        streams = RngStreams(7)
+        assert streams.get("s") is streams.get("s")
+
+    def test_fresh_is_not_cached(self):
+        streams = RngStreams(7)
+        assert streams.fresh("s") is not streams.fresh("s")
+
+    def test_fresh_replays_from_start(self):
+        streams = RngStreams(7)
+        first = streams.fresh("s").random(5)
+        second = streams.fresh("s").random(5)
+        assert list(first) == list(second)
+
+    def test_seed_for_is_stable(self):
+        assert RngStreams(3).seed_for("n") == RngStreams(3).seed_for("n")
+
+    def test_adding_streams_does_not_perturb_existing(self):
+        lone = RngStreams(5)
+        value_alone = lone.get("target").random()
+        crowded = RngStreams(5)
+        crowded.get("other1").random()
+        crowded.get("other2").random()
+        assert crowded.get("target").random() == value_alone

@@ -1,0 +1,105 @@
+"""Tests for repro.telescope.packet and capture."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.telescope.capture import CaptureFilter, PacketCapture
+from repro.telescope.packet import (ICMPV6, TCP, UDP, Packet, Protocol,
+                                    is_traceroute_port)
+
+
+def packet(time=0.0, src=1, dst=2, protocol=ICMPV6, port=0,
+           payload=None) -> Packet:
+    return Packet(time=time, src=src, dst=dst, protocol=protocol,
+                  dst_port=port, payload=payload)
+
+
+class TestPacket:
+    def test_protocol_numbers(self):
+        assert Protocol.TCP == 6
+        assert Protocol.UDP == 17
+        assert Protocol.ICMPV6 == 58
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            packet(time=-1.0)
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ValueError):
+            packet(port=70000)
+
+    def test_has_payload(self):
+        assert packet(payload=b"x").has_payload
+        assert not packet().has_payload
+        assert not packet(payload=b"").has_payload
+
+    def test_traceroute_range(self):
+        assert is_traceroute_port(33434)
+        assert is_traceroute_port(33523)
+        assert not is_traceroute_port(33433)
+        assert not is_traceroute_port(33524)
+
+
+class TestCaptureFilter:
+    def test_excludes_destination_prefix(self):
+        productive = Prefix.parse("2001:db8:0:1200::/56")
+        flt = CaptureFilter(exclude_dst_prefixes=(productive,))
+        inside = packet(dst=productive.network | 1)
+        outside = packet(dst=Prefix.parse("2001:db8::/64").network | 1)
+        assert not flt.accepts(inside)
+        assert flt.accepts(outside)
+
+    def test_excludes_source_prefix(self):
+        productive = Prefix.parse("2001:db8:0:1200::/56")
+        flt = CaptureFilter(exclude_src_prefixes=(productive,))
+        assert not flt.accepts(packet(src=productive.network | 5))
+
+
+class TestPacketCapture:
+    def test_record_and_len(self):
+        capture = PacketCapture(name="x")
+        assert capture.record(packet())
+        assert len(capture) == 1
+
+    def test_filter_drops_and_counts(self):
+        productive = Prefix.parse("2001:db8::/56")
+        capture = PacketCapture(
+            name="x",
+            capture_filter=CaptureFilter(
+                exclude_dst_prefixes=(productive,)))
+        assert not capture.record(packet(dst=productive.network | 1))
+        assert capture.dropped == 1
+        assert len(capture) == 0
+
+    def test_packets_sorted_by_time(self):
+        capture = PacketCapture()
+        capture.record(packet(time=5.0))
+        capture.record(packet(time=1.0))
+        times = [p.time for p in capture.packets()]
+        assert times == [1.0, 5.0]
+
+    def test_between(self):
+        capture = PacketCapture()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            capture.record(packet(time=t))
+        window = capture.between(1.0, 3.0)
+        assert [p.time for p in window] == [1.0, 2.0]
+
+    def test_extend(self):
+        capture = PacketCapture()
+        stored = capture.extend(packet(time=float(i)) for i in range(5))
+        assert stored == 5
+
+    def test_source_and_destination_sets(self):
+        capture = PacketCapture()
+        capture.record(packet(src=1, dst=10))
+        capture.record(packet(src=2, dst=10))
+        assert capture.sources() == {1, 2}
+        assert capture.destinations() == {10}
+
+    def test_filtered(self):
+        capture = PacketCapture()
+        capture.record(packet(protocol=TCP, port=80))
+        capture.record(packet(protocol=UDP, port=53))
+        tcp = capture.filtered(lambda p: p.protocol is TCP)
+        assert len(tcp) == 1

@@ -1,0 +1,99 @@
+"""Tests for repro.telescope.telescope, reactive, productive."""
+
+import numpy as np
+import pytest
+
+from repro.dns.umbrella import UmbrellaList
+from repro.errors import ExperimentError
+from repro.net.prefix import Prefix
+from repro.telescope.capture import PacketCapture
+from repro.telescope.packet import ICMPV6, TCP, UDP, Packet
+from repro.telescope.productive import ProductiveSubnet
+from repro.telescope.reactive import ReactiveResponder
+from repro.telescope.telescope import Telescope, TelescopeKind
+
+P48 = Prefix.parse("3fff:4000:4::/48")
+
+
+def packet(dst, protocol=ICMPV6, port=0) -> Packet:
+    return Packet(time=0.0, src=1, dst=dst, protocol=protocol,
+                  dst_port=port)
+
+
+class TestTelescope:
+    def test_requires_prefix(self):
+        with pytest.raises(ExperimentError):
+            Telescope(name="x", kind=TelescopeKind.PASSIVE, prefixes=[],
+                      capture=PacketCapture())
+
+    def test_active_requires_responder(self):
+        with pytest.raises(ExperimentError):
+            Telescope(name="x", kind=TelescopeKind.ACTIVE, prefixes=[P48],
+                      capture=PacketCapture())
+
+    def test_deliver_records(self):
+        telescope = Telescope(name="x", kind=TelescopeKind.PASSIVE,
+                              prefixes=[P48], capture=PacketCapture())
+        responded = telescope.deliver(packet(P48.network | 1))
+        assert not responded
+        assert telescope.packet_count == 1
+
+    def test_misrouted_rejected(self):
+        telescope = Telescope(name="x", kind=TelescopeKind.PASSIVE,
+                              prefixes=[P48], capture=PacketCapture())
+        with pytest.raises(ExperimentError):
+            telescope.deliver(packet(1))
+
+    def test_covering_prefix(self):
+        narrower = Prefix.parse("3fff:4000:4:1::/64")
+        telescope = Telescope(name="x", kind=TelescopeKind.PASSIVE,
+                              prefixes=[P48, narrower],
+                              capture=PacketCapture())
+        assert telescope.covering_prefix(narrower.network | 1) == narrower
+        assert telescope.covering_prefix(1) is None
+
+
+class TestReactiveResponder:
+    def test_tcp_answered(self):
+        responder = ReactiveResponder()
+        telescope = Telescope(name="T4", kind=TelescopeKind.ACTIVE,
+                              prefixes=[P48], capture=PacketCapture(),
+                              responder=responder)
+        assert telescope.deliver(packet(P48.network | 1, TCP, 80))
+        assert responder.responses_sent == 1
+        assert responder.open_ports(P48.network | 1) == {80}
+
+    def test_icmpv6_answered_udp_not(self):
+        responder = ReactiveResponder()
+        assert responder.responds(packet(P48.network | 1, ICMPV6))
+        assert not responder.responds(packet(P48.network | 1, UDP, 53))
+
+    def test_never_appears_aliased(self):
+        assert not ReactiveResponder().appears_aliased
+
+
+class TestProductiveSubnet:
+    def test_build(self):
+        umbrella = UmbrellaList()
+        prod = ProductiveSubnet.build(Prefix.parse("3fff:2000::/48"),
+                                      np.random.default_rng(0),
+                                      umbrella=umbrella)
+        assert prod.subnet.length == 56
+        assert prod.telescope_prefix.covers(prod.subnet)
+        # the attractor lives inside the /48 but outside the productive /56
+        assert prod.telescope_prefix.contains_address(prod.attractor_addr)
+        assert not prod.contains(prod.attractor_addr)
+        assert prod.attractor_name in umbrella
+        assert len(prod.host_addrs) == 24
+        assert all(prod.contains(h) for h in prod.host_addrs)
+
+    def test_zone_has_attractor(self):
+        prod = ProductiveSubnet.build(Prefix.parse("3fff:2000::/48"),
+                                      np.random.default_rng(0))
+        addrs = prod.zone.aaaa_addresses()
+        assert prod.attractor_addr in addrs
+
+    def test_too_specific_prefix_rejected(self):
+        with pytest.raises(ExperimentError):
+            ProductiveSubnet.build(Prefix.parse("3fff:2000::/64"),
+                                   np.random.default_rng(0))
