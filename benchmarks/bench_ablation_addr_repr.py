@@ -1,8 +1,11 @@
-"""Ablation — int-backed addresses vs the stdlib ``ipaddress`` objects.
+"""Ablation — address/packet representation: ints, objects, columns.
 
-DESIGN.md: the library stores addresses as plain 128-bit ints. This
-ablation measures classification and containment throughput for both
-representations to justify the choice.
+DESIGN.md: the library stores addresses as plain 128-bit ints; the hot
+analysis paths additionally store packets as NumPy columns
+(:class:`repro.core.columnar.PacketTable`). This ablation measures
+containment/classification throughput for int vs ``ipaddress`` objects,
+and sessionization throughput for the per-packet object path vs the
+columnar engine, to justify both choices.
 """
 
 import ipaddress
@@ -10,9 +13,13 @@ import ipaddress
 import numpy as np
 import pytest
 
+from repro.core.columnar import PacketTable, sessionize_table
+from repro.core.sessions import sessionize
 from repro.net.addrgen import random_targets
 from repro.net.addrtypes import classify_address
 from repro.net.prefix import Prefix
+from repro.sim.clock import HOUR
+from repro.telescope.packet import ICMPV6, Packet
 
 P = Prefix.parse("3fff:1000::/32")
 N = 20_000
@@ -56,3 +63,32 @@ def test_ablation_classify_via_ipaddress(benchmark, object_addresses):
         return sum(1 for a in object_addresses
                    if classify_address(int(a)) is not None)
     assert benchmark(run) == N
+
+
+# -- packet representation: dataclass walk vs PacketTable columns ----------
+
+@pytest.fixture(scope="module")
+def session_packets(int_addresses):
+    """A scan stream: many sources, bursty arrivals over two days."""
+    rng = np.random.default_rng(1)
+    times = np.sort(rng.uniform(0, 48 * HOUR, size=N))
+    return [Packet(time=float(t),
+                   src=((int(a) >> 64) << 64) | (int(a) & 0xFFFF),
+                   dst=int(a), protocol=ICMPV6)
+            for t, a in zip(times, int_addresses)]
+
+
+@pytest.fixture(scope="module")
+def session_table(session_packets):
+    return PacketTable.from_packets(session_packets)
+
+
+def test_ablation_sessionize_objects(benchmark, session_packets):
+    result = benchmark(lambda: len(sessionize(session_packets)))
+    assert result > 0
+
+
+def test_ablation_sessionize_columnar(benchmark, session_packets,
+                                      session_table):
+    result = benchmark(lambda: len(sessionize_table(session_table)))
+    assert result == len(sessionize(session_packets))

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Machine-readable perf trajectory for the analysis pipeline.
+
+Runs the bench corpus at a fixed scale and times the stages that gate
+production throughput:
+
+- ``corpus_build`` — full campaign simulation + corpus packaging;
+- ``cold_analysis_columnar`` — sessionize all telescopes at /128 and
+  /64 over the full phase on the columnar engine (the default path);
+- ``cold_analysis_legacy`` — the same work on the per-packet object
+  path (kept as the correctness oracle);
+- ``tables`` — per-table generation (Tables 2-8) on a warm analysis.
+
+Results land in ``BENCH_<date>.json`` next to this script (override
+with ``--out``), so the perf trajectory stays diffable across PRs::
+
+    PYTHONPATH=src python benchmarks/run_benches.py --scale 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.analysis import tables as T
+from repro.analysis.context import CorpusAnalysis
+from repro.core.aggregation import AggregationLevel
+from repro.experiment import ExperimentConfig, Phase, run_experiment
+
+COLD_LEVELS = (AggregationLevel.ADDR, AggregationLevel.SUBNET)
+TABLES = {
+    "table2": T.table2, "table3": T.table3, "table4": T.table4,
+    "table5": T.table5, "table6": T.table6, "table7": T.table7,
+    "table8": T.table8,
+}
+
+
+def time_call(fn):
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+def cold_analysis(corpus, use_columnar: bool,
+                  rounds: int = 3) -> tuple[dict, int]:
+    """Cold sessionization sweep timings + total sessions.
+
+    Every round constructs a fresh :class:`CorpusAnalysis`, so the full
+    sweep (all telescopes, /128 + /64, full phase) is recomputed from
+    scratch each time — nothing is cached between rounds. ``first``
+    additionally pays one-time process costs (heap growth, page faults);
+    ``best`` is the steady-state number a long-lived analysis service
+    sees, and both paths get identical treatment.
+    """
+
+    def run() -> int:
+        analysis = CorpusAnalysis(corpus, use_columnar=use_columnar)
+        total = 0
+        for telescope in corpus.telescopes():
+            for level in COLD_LEVELS:
+                total += len(analysis.sessions(telescope, level, Phase.FULL))
+        return total
+
+    first, sessions = time_call(run)
+    best = min(time_call(run)[0] for _ in range(rounds))
+    return {"first": first, "best": best}, sessions
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="population scale (default 1.0)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="campaign seed (default 42)")
+    parser.add_argument("--skip-legacy", action="store_true",
+                        help="skip the slow object-path oracle timing")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default benchmarks/BENCH_<date>"
+                             ".json)")
+    args = parser.parse_args()
+
+    config = ExperimentConfig(seed=args.seed, scale=args.scale)
+    print(f"simulating campaign (seed={args.seed} scale={args.scale}) ...")
+    build_seconds, result = time_call(lambda: run_experiment(config))
+    corpus = result.corpus
+    total_packets = corpus.total_packets()
+    print(f"  corpus: {total_packets} packets in {build_seconds:.2f}s")
+
+    columnar_seconds, columnar_sessions = cold_analysis(corpus, True)
+    print(f"  cold analysis (columnar): first {columnar_seconds['first']:.3f}s"
+          f" / best {columnar_seconds['best']:.3f}s "
+          f"({columnar_sessions} sessions)")
+
+    legacy_seconds = legacy_sessions = None
+    if not args.skip_legacy:
+        legacy_seconds, legacy_sessions = cold_analysis(corpus, False)
+        print(f"  cold analysis (legacy):   first {legacy_seconds['first']:.3f}s"
+              f" / best {legacy_seconds['best']:.3f}s "
+              f"({legacy_sessions} sessions)")
+        if legacy_sessions != columnar_sessions:
+            raise SystemExit("legacy and columnar paths disagree on "
+                             f"session counts: {legacy_sessions} vs "
+                             f"{columnar_sessions}")
+
+    analysis = CorpusAnalysis(corpus)
+    table_seconds = {}
+    for name, generate in TABLES.items():
+        table_seconds[name], _ = time_call(lambda g=generate: g(analysis))
+        print(f"  {name}: {table_seconds[name]:.3f}s")
+
+    report = {
+        "date": datetime.date.today().isoformat(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "config": {"seed": args.seed, "scale": args.scale},
+        "corpus": {"total_packets": total_packets,
+                   "per_telescope": {t: len(corpus.table(t))
+                                     for t in corpus.telescopes()}},
+        "seconds": {
+            "corpus_build": round(build_seconds, 4),
+            "cold_analysis_columnar":
+                {k: round(v, 4) for k, v in columnar_seconds.items()},
+            "cold_analysis_legacy":
+                {k: round(v, 4) for k, v in legacy_seconds.items()}
+                if legacy_seconds else None,
+            "tables": {k: round(v, 4) for k, v in table_seconds.items()},
+        },
+        "sessions": {"cold_total": columnar_sessions},
+        "speedup_cold_analysis": {
+            "first": round(legacy_seconds["first"]
+                           / columnar_seconds["first"], 2),
+            "best": round(legacy_seconds["best"]
+                          / columnar_seconds["best"], 2),
+        } if legacy_seconds else None,
+    }
+    out = args.out or (Path(__file__).parent
+                       / f"BENCH_{report['date']}.json")
+    out.write_text(json.dumps(report, indent=1) + "\n")
+    if report["speedup_cold_analysis"]:
+        speedup = report["speedup_cold_analysis"]
+        print(f"  speedup (cold analysis): first {speedup['first']}x / "
+              f"best {speedup['best']}x")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

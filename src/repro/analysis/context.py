@@ -3,13 +3,20 @@
 Sessionization and classification are the expensive steps shared by most
 tables and figures; :class:`CorpusAnalysis` computes each combination of
 (telescope, aggregation level, phase) exactly once.
+
+Sessionization runs on the columnar engine
+(:func:`repro.core.columnar.sessionize_table`) by default; the original
+per-packet object path is kept as a correctness oracle and can be forced
+with ``use_columnar=False`` or ``REPRO_LEGACY_OBJECTS=1``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.core.aggregation import AggregationLevel
+from repro.core.columnar import sessionize_table
 from repro.core.netclass import NetworkClass
 from repro.core.netclass import classify_all as classify_network_all
 from repro.core.sessions import Session, SessionSet, sessionize
@@ -19,11 +26,17 @@ from repro.experiment.corpus import PacketCorpus
 from repro.experiment.phases import Phase
 
 
+def _columnar_default() -> bool:
+    return os.environ.get("REPRO_LEGACY_OBJECTS", "").lower() \
+        not in ("1", "true", "yes")
+
+
 @dataclass
 class CorpusAnalysis:
     """Lazy, cached access to derived analysis products."""
 
     corpus: PacketCorpus
+    use_columnar: bool = field(default_factory=_columnar_default)
     _sessions: dict = field(default_factory=dict)
     _temporal: dict = field(default_factory=dict)
     _network: dict = field(default_factory=dict)
@@ -35,9 +48,14 @@ class CorpusAnalysis:
                  phase: Phase = Phase.FULL) -> SessionSet:
         key = (telescope, level, phase)
         if key not in self._sessions:
-            packets = self.corpus.phase_packets(telescope, phase)
-            self._sessions[key] = sessionize(packets, telescope=telescope,
-                                             level=level)
+            if self.use_columnar:
+                table = self.corpus.phase_table(telescope, phase)
+                self._sessions[key] = sessionize_table(
+                    table, telescope=telescope, level=level)
+            else:
+                packets = self.corpus.phase_packets(telescope, phase)
+                self._sessions[key] = sessionize(
+                    packets, telescope=telescope, level=level)
         return self._sessions[key]
 
     def all_sessions(self, level: AggregationLevel = AggregationLevel.ADDR,

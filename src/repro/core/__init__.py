@@ -5,6 +5,8 @@ the generative ground truth — exactly as the authors' pipeline operated on
 pcaps:
 
 - :mod:`repro.core.sessions` — scan sessions (1h timeout) and sources.
+- :mod:`repro.core.columnar` — NumPy-backed packet table + vectorized
+  sessionization, aggregation and phase slicing.
 - :mod:`repro.core.aggregation` — /128, /64, /48 source aggregation.
 - :mod:`repro.core.temporal` — one-off/periodic/intermittent (§5.1).
 - :mod:`repro.core.netclass` — network-selection classes via DBSCAN (§5.2).
@@ -19,12 +21,16 @@ pcaps:
 """
 
 from repro.core.aggregation import AggregationLevel, source_key
+from repro.core.columnar import PacketSlice, PacketTable, sessionize_table
 from repro.core.sessions import Session, SessionSet, sessionize
 
 __all__ = [
     "Session",
     "SessionSet",
     "sessionize",
+    "sessionize_table",
+    "PacketTable",
+    "PacketSlice",
     "AggregationLevel",
     "source_key",
 ]

@@ -1,0 +1,455 @@
+"""Columnar packet engine: structure-of-arrays storage + vectorized paths.
+
+The object pipeline walks one Python :class:`~repro.telescope.packet.Packet`
+per captured probe, which caps tractable corpora around 1e6 packets. The
+paper's dataset is 51M packets, so the shared hot paths (sessionization,
+source aggregation, phase slicing) run here against a
+:class:`PacketTable` — per-telescope NumPy columns for arrival time, the
+two 64-bit halves of the source/destination addresses, protocol, port,
+origin ASN and an interned payload id.
+
+Key equivalences with the object path (checked by the differential tests
+in ``tests/test_core_columnar.py``):
+
+- source aggregation (§3.3) is a shift on the ``src_hi`` column —
+  ``/64`` keys are ``src_hi`` itself, ``/48`` keys are ``src_hi >> 16``;
+- sessionization is one stable ``lexsort`` by (source key, time) plus a
+  boundary scan ``(gap >= timeout) | (key changed)`` — identical cuts to
+  the per-source Python loop in :func:`repro.core.sessions.sessionize`;
+- phase slicing is a ``searchsorted`` on the time-sorted table.
+
+:class:`Session` objects produced here carry a :class:`PacketSlice` — a
+lazy sequence that materializes ``Packet`` objects only when a downstream
+classifier actually touches them, reusing the corpus' existing objects
+when the table was built from one.
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.aggregation import AggregationLevel
+from repro.core.sessions import DEFAULT_TIMEOUT, Session, SessionSet
+from repro.errors import AnalysisError
+from repro.telescope.packet import Packet, Protocol
+
+_MASK64 = (1 << 64) - 1
+
+#: ``payload_id`` value for packets without a payload.
+NO_PAYLOAD = -1
+
+
+class PacketTable:
+    """Structure-of-arrays packet store for one telescope.
+
+    All columns have equal length; row ``i`` is one captured packet.
+    Payload bytes are interned: ``payload_id[i]`` indexes into
+    :attr:`payloads` (or is :data:`NO_PAYLOAD`), so identical probe
+    payloads are stored once.
+    """
+
+    __slots__ = ("time", "src_hi", "src_lo", "dst_hi", "dst_lo",
+                 "protocol", "dst_port", "src_asn", "scanner_id",
+                 "payload_id", "payloads", "_objects", "_time_sorted")
+
+    def __init__(self, time: np.ndarray, src_hi: np.ndarray,
+                 src_lo: np.ndarray, dst_hi: np.ndarray,
+                 dst_lo: np.ndarray, protocol: np.ndarray,
+                 dst_port: np.ndarray, src_asn: np.ndarray,
+                 scanner_id: np.ndarray, payload_id: np.ndarray,
+                 payloads: list[bytes],
+                 objects: list[Packet] | None = None) -> None:
+        n = len(time)
+        for name, column in (("src_hi", src_hi), ("src_lo", src_lo),
+                             ("dst_hi", dst_hi), ("dst_lo", dst_lo),
+                             ("protocol", protocol), ("dst_port", dst_port),
+                             ("src_asn", src_asn),
+                             ("scanner_id", scanner_id),
+                             ("payload_id", payload_id)):
+            if len(column) != n:
+                raise AnalysisError(
+                    f"column {name} has {len(column)} rows, expected {n}")
+        if objects is not None and len(objects) != n:
+            raise AnalysisError(
+                f"object backing has {len(objects)} rows, expected {n}")
+        self.time = time
+        self.src_hi = src_hi
+        self.src_lo = src_lo
+        self.dst_hi = dst_hi
+        self.dst_lo = dst_lo
+        self.protocol = protocol
+        self.dst_port = dst_port
+        self.src_asn = src_asn
+        self.scanner_id = scanner_id
+        self.payload_id = payload_id
+        self.payloads = payloads
+        self._objects = objects
+        self._time_sorted: bool | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "PacketTable":
+        u64 = np.empty(0, dtype=np.uint64)
+        return cls(time=np.empty(0, dtype=np.float64),
+                   src_hi=u64, src_lo=u64.copy(),
+                   dst_hi=u64.copy(), dst_lo=u64.copy(),
+                   protocol=np.empty(0, dtype=np.uint8),
+                   dst_port=np.empty(0, dtype=np.uint16),
+                   src_asn=np.empty(0, dtype=np.uint32),
+                   scanner_id=np.empty(0, dtype=np.int64),
+                   payload_id=np.empty(0, dtype=np.int64),
+                   payloads=[], objects=[])
+
+    @classmethod
+    def from_packets(cls, packets: Sequence[Packet]) -> "PacketTable":
+        """Build the columns in one pass over a packet sequence."""
+        n = len(packets)
+        time = np.empty(n, dtype=np.float64)
+        src_hi = np.empty(n, dtype=np.uint64)
+        src_lo = np.empty(n, dtype=np.uint64)
+        dst_hi = np.empty(n, dtype=np.uint64)
+        dst_lo = np.empty(n, dtype=np.uint64)
+        protocol = np.empty(n, dtype=np.uint8)
+        dst_port = np.empty(n, dtype=np.uint16)
+        src_asn = np.empty(n, dtype=np.uint32)
+        scanner_id = np.empty(n, dtype=np.int64)
+        payload_id = np.full(n, NO_PAYLOAD, dtype=np.int64)
+        payloads: list[bytes] = []
+        interned: dict[bytes, int] = {}
+        for i, p in enumerate(packets):
+            time[i] = p.time
+            src = p.src
+            src_hi[i] = src >> 64
+            src_lo[i] = src & _MASK64
+            dst = p.dst
+            dst_hi[i] = dst >> 64
+            dst_lo[i] = dst & _MASK64
+            protocol[i] = int(p.protocol)
+            dst_port[i] = p.dst_port
+            src_asn[i] = p.src_asn
+            scanner_id[i] = p.scanner_id
+            if p.payload:
+                pid = interned.get(p.payload)
+                if pid is None:
+                    pid = len(payloads)
+                    interned[p.payload] = pid
+                    payloads.append(p.payload)
+                payload_id[i] = pid
+        return cls(time=time, src_hi=src_hi, src_lo=src_lo, dst_hi=dst_hi,
+                   dst_lo=dst_lo, protocol=protocol, dst_port=dst_port,
+                   src_asn=src_asn, scanner_id=scanner_id,
+                   payload_id=payload_id, payloads=payloads,
+                   objects=packets if isinstance(packets, list)
+                   else list(packets))
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.time)
+
+    # -- row materialization ----------------------------------------------
+
+    def packet(self, i: int) -> Packet:
+        """The ``Packet`` object for row ``i`` (reused if available)."""
+        if self._objects is not None:
+            return self._objects[i]
+        return self._build_packet(i)
+
+    def to_packets(self) -> list[Packet]:
+        """Materialize (and cache) all rows as ``Packet`` objects."""
+        if self._objects is None:
+            self._objects = [self._build_packet(i) for i in range(len(self))]
+        return self._objects
+
+    def _build_packet(self, i: int) -> Packet:
+        pid = int(self.payload_id[i])
+        return Packet(
+            time=float(self.time[i]),
+            src=(int(self.src_hi[i]) << 64) | int(self.src_lo[i]),
+            dst=(int(self.dst_hi[i]) << 64) | int(self.dst_lo[i]),
+            protocol=Protocol(int(self.protocol[i])),
+            dst_port=int(self.dst_port[i]),
+            payload=self.payloads[pid] if pid != NO_PAYLOAD else None,
+            src_asn=int(self.src_asn[i]),
+            scanner_id=int(self.scanner_id[i]))
+
+    # -- time ordering and phase slicing ----------------------------------
+
+    @property
+    def is_time_sorted(self) -> bool:
+        if self._time_sorted is None:
+            t = self.time
+            self._time_sorted = bool(len(t) < 2 or np.all(t[1:] >= t[:-1]))
+        return self._time_sorted
+
+    def time_sorted(self) -> "PacketTable":
+        """This table, stably reordered by arrival time if necessary."""
+        if self.is_time_sorted:
+            return self
+        order = np.argsort(self.time, kind="stable")
+        return self.take(order)
+
+    def take(self, indices: np.ndarray) -> "PacketTable":
+        """A new table holding the given rows, in the given order."""
+        objects = None
+        if self._objects is not None:
+            objects = [self._objects[i] for i in indices.tolist()]
+        return PacketTable(
+            time=self.time[indices], src_hi=self.src_hi[indices],
+            src_lo=self.src_lo[indices], dst_hi=self.dst_hi[indices],
+            dst_lo=self.dst_lo[indices], protocol=self.protocol[indices],
+            dst_port=self.dst_port[indices], src_asn=self.src_asn[indices],
+            scanner_id=self.scanner_id[indices],
+            payload_id=self.payload_id[indices],
+            payloads=self.payloads, objects=objects)
+
+    def slice_time(self, start: float, end: float) -> "PacketTable":
+        """Rows with ``start <= time < end`` (table must be time-sorted)."""
+        if not self.is_time_sorted:
+            raise AnalysisError("slice_time requires a time-sorted table")
+        lo = int(np.searchsorted(self.time, start, side="left"))
+        hi = int(np.searchsorted(self.time, end, side="left"))
+        return self._row_slice(lo, hi)
+
+    def _row_slice(self, lo: int, hi: int) -> "PacketTable":
+        objects = self._objects[lo:hi] if self._objects is not None else None
+        table = PacketTable(
+            time=self.time[lo:hi], src_hi=self.src_hi[lo:hi],
+            src_lo=self.src_lo[lo:hi], dst_hi=self.dst_hi[lo:hi],
+            dst_lo=self.dst_lo[lo:hi], protocol=self.protocol[lo:hi],
+            dst_port=self.dst_port[lo:hi], src_asn=self.src_asn[lo:hi],
+            scanner_id=self.scanner_id[lo:hi],
+            payload_id=self.payload_id[lo:hi],
+            payloads=self.payloads, objects=objects)
+        table._time_sorted = self._time_sorted
+        return table
+
+    # -- vectorized source aggregation ------------------------------------
+
+    def source_key_columns(self, level: AggregationLevel) \
+            -> tuple[np.ndarray | None, np.ndarray]:
+        """(hi, lo) key columns; ``hi`` is None when one column suffices.
+
+        Keys mirror :func:`repro.core.aggregation.source_key`: the address
+        right-shifted to the aggregation boundary.
+        """
+        if level is AggregationLevel.ADDR:
+            return self.src_hi, self.src_lo
+        if level is AggregationLevel.SUBNET:
+            return None, self.src_hi
+        if level is AggregationLevel.PREFIX:
+            return None, self.src_hi >> np.uint64(16)
+        raise AnalysisError(f"unsupported aggregation level {level!r}")
+
+    def distinct_sources(self, level: AggregationLevel) -> set[int]:
+        """Aggregated source keys present in the table."""
+        key_hi, key_lo = self.source_key_columns(level)
+        if key_hi is None:
+            return set(np.unique(key_lo).tolist())
+        pairs = np.unique(
+            np.stack((key_hi, key_lo), axis=1), axis=0)
+        return {(int(hi) << 64) | int(lo) for hi, lo in pairs.tolist()}
+
+    def unique_source_addresses(self) -> set[int]:
+        """Distinct 128-bit source addresses (no object materialization)."""
+        return self.distinct_sources(AggregationLevel.ADDR)
+
+    # -- persistence helpers ----------------------------------------------
+
+    def payload_blob(self) -> tuple[np.ndarray, np.ndarray]:
+        """(offsets, blob) in the per-packet concatenated store layout."""
+        n = len(self)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        chunks: list[bytes] = []
+        total = 0
+        ids = self.payload_id.tolist()
+        for i, pid in enumerate(ids):
+            if pid != NO_PAYLOAD:
+                payload = self.payloads[pid]
+                chunks.append(payload)
+                total += len(payload)
+            offsets[i + 1] = total
+        blob = np.frombuffer(b"".join(chunks), dtype=np.uint8) \
+            if chunks else np.empty(0, dtype=np.uint8)
+        return offsets, blob
+
+    @classmethod
+    def from_blob_arrays(cls, time, src_hi, src_lo, dst_hi, dst_lo,
+                         protocol, dst_port, src_asn, scanner_id,
+                         payload_offsets, payload_blob) -> "PacketTable":
+        """Build a table from the store's per-packet blob layout."""
+        n = len(time)
+        payload_id = np.full(n, NO_PAYLOAD, dtype=np.int64)
+        payloads: list[bytes] = []
+        interned: dict[bytes, int] = {}
+        lengths = np.diff(payload_offsets)
+        blob = payload_blob.tobytes()
+        for i in np.flatnonzero(lengths > 0).tolist():
+            payload = blob[int(payload_offsets[i]):
+                           int(payload_offsets[i + 1])]
+            pid = interned.get(payload)
+            if pid is None:
+                pid = len(payloads)
+                interned[payload] = pid
+                payloads.append(payload)
+            payload_id[i] = pid
+        return cls(time=np.asarray(time, dtype=np.float64),
+                   src_hi=np.asarray(src_hi, dtype=np.uint64),
+                   src_lo=np.asarray(src_lo, dtype=np.uint64),
+                   dst_hi=np.asarray(dst_hi, dtype=np.uint64),
+                   dst_lo=np.asarray(dst_lo, dtype=np.uint64),
+                   protocol=np.asarray(protocol, dtype=np.uint8),
+                   dst_port=np.asarray(dst_port, dtype=np.uint16),
+                   src_asn=np.asarray(src_asn, dtype=np.uint32),
+                   scanner_id=np.asarray(scanner_id, dtype=np.int64),
+                   payload_id=payload_id, payloads=payloads)
+
+
+class PacketSlice:
+    """Lazy, immutable sequence of table rows behaving like list[Packet].
+
+    ``Session.packets`` points at one of these: length, truthiness and
+    equality are cheap; iterating or indexing materializes ``Packet``
+    objects (reusing the table's object backing when present). Rows are
+    ``order[lo:hi]`` of a shared permutation array — the window is kept
+    as two ints so creating millions of slices allocates no per-slice
+    index arrays.
+    """
+
+    __slots__ = ("_table", "_order", "_lo", "_hi", "_cache")
+
+    def __init__(self, table: PacketTable, rows: np.ndarray) -> None:
+        self._table = table
+        self._order = rows
+        self._lo = 0
+        self._hi = len(rows)
+        self._cache: list[Packet] | None = None
+
+    def __len__(self) -> int:
+        return self._hi - self._lo
+
+    def __bool__(self) -> bool:
+        return self._hi > self._lo
+
+    def _materialize(self) -> list[Packet]:
+        if self._cache is None:
+            table = self._table
+            rows = self._order[self._lo:self._hi].tolist()
+            objects = table._objects
+            if objects is not None:
+                self._cache = [objects[i] for i in rows]
+            else:
+                self._cache = [table.packet(i) for i in rows]
+        return self._cache
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._materialize())
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self._materialize()[index]
+        if self._cache is not None:
+            return self._cache[index]
+        n = self._hi - self._lo
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(index)
+        return self._table.packet(int(self._order[self._lo + index]))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, PacketSlice):
+            return self._materialize() == other._materialize()
+        if isinstance(other, list):
+            return self._materialize() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"PacketSlice({len(self)} packets)"
+
+
+def sessionize_table(table: PacketTable, telescope: str = "",
+                     level: AggregationLevel = AggregationLevel.ADDR,
+                     timeout: float = DEFAULT_TIMEOUT) -> SessionSet:
+    """Vectorized :func:`repro.core.sessions.sessionize` over a table.
+
+    Produces byte-identical session boundaries, source keys and ordering
+    to the object path: one stable lexsort by (aggregated source, time)
+    replaces the per-source dict + per-stream sort, and one boundary scan
+    over adjacent rows replaces the per-packet gap loop.
+    """
+    if timeout <= 0:
+        raise AnalysisError(f"session timeout must be > 0, got {timeout}")
+    result = SessionSet(telescope=telescope, level=level, timeout=timeout)
+    n = len(table)
+    if n == 0:
+        return result
+
+    key_hi, key_lo = table.source_key_columns(level)
+    if key_hi is None:
+        order = np.lexsort((table.time, key_lo))
+    else:
+        order = np.lexsort((table.time, key_lo, key_hi))
+
+    t = table.time[order]
+    kl = key_lo[order]
+    boundary = kl[1:] != kl[:-1]
+    if key_hi is not None:
+        kh = key_hi[order]
+        boundary |= kh[1:] != kh[:-1]
+    boundary |= (t[1:] - t[:-1]) >= timeout
+
+    bounds = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.flatnonzero(boundary) + 1,
+         np.full(1, n, dtype=np.int64)))
+    firsts = bounds[:-1]
+    # the object path emits sessions per ascending source then stably
+    # re-sorts by start time; lexsort already yields (source, time) order,
+    # so one stable argsort over the starts reproduces the final order
+    session_order = np.argsort(t[firsts], kind="stable")
+
+    firsts_sorted = firsts[session_order]
+    lo_list = firsts_sorted.tolist()
+    hi_list = bounds[1:][session_order].tolist()
+    kl_firsts = kl[firsts_sorted].tolist()
+    kh_firsts = kh[firsts_sorted].tolist() if key_hi is not None else None
+
+    # sessions are built through __new__ + direct slot assignment: the
+    # dataclass __init__/__post_init__ pair costs more than all the numpy
+    # work above on large corpora, and every slice here is non-empty by
+    # construction. Generational GC is paused around the bulk allocation —
+    # every gen-0 pass it triggers would traverse the multi-million-object
+    # corpus, which dominates the whole sessionization otherwise.
+    sessions = result.sessions
+    append = sessions.append
+    new_session = Session.__new__
+    new_slice = PacketSlice.__new__
+    if kh_firsts is not None:
+        sources = [(kh << 64) | kl
+                   for kh, kl in zip(kh_firsts, kl_firsts)]
+    else:
+        sources = kl_firsts
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        for source, lo, hi in zip(sources, lo_list, hi_list):
+            packets = new_slice(PacketSlice)
+            packets._table = table
+            packets._order = order
+            packets._lo = lo
+            packets._hi = hi
+            packets._cache = None
+            session = new_session(Session)
+            session.source = source
+            session.telescope = telescope
+            session.packets = packets
+            append(session)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return result

@@ -108,7 +108,10 @@ def sessionize(packets: Iterable[Packet], telescope: str = "",
     result = SessionSet(telescope=telescope, level=level, timeout=timeout)
     for source in sorted(per_source):
         stream = per_source[source]
-        stream.sort(key=lambda p: p.time)
+        # captures append in arrival order, so streams are usually already
+        # time-sorted; only pay for the sort when a pair is out of order
+        if any(b.time < a.time for a, b in zip(stream, stream[1:])):
+            stream.sort(key=lambda p: p.time)
         current: list[Packet] = [stream[0]]
         for packet in stream[1:]:
             if packet.time - current[-1].time >= timeout:

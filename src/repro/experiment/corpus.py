@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.bgp.controller import AnnouncementCycle
+from repro.core.columnar import PacketTable
 from repro.dns.resolver import Resolver
 from repro.errors import AnalysisError
 from repro.experiment.config import ExperimentConfig
@@ -25,7 +26,13 @@ TELESCOPE_NAMES = ("T1", "T2", "T3", "T4")
 
 @dataclass
 class PacketCorpus:
-    """Captured packets plus metadata lookups."""
+    """Captured packets plus metadata lookups.
+
+    Packets are held both as object lists (``packets_by_telescope``) and
+    as columnar :class:`PacketTable` views (``tables_by_telescope``); a
+    corpus may be constructed from either representation and the other is
+    materialized lazily on first access.
+    """
 
     config: ExperimentConfig
     packets_by_telescope: dict[str, list[Packet]]
@@ -37,11 +44,14 @@ class PacketCorpus:
     t3_prefix: Prefix
     t4_prefix: Prefix
     attractor_addr: int = 0
+    tables_by_telescope: dict[str, PacketTable] = field(default_factory=dict)
     _phase_cache: dict = field(default_factory=dict)
+    _phase_table_cache: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         for name in TELESCOPE_NAMES:
-            if name not in self.packets_by_telescope:
+            if name not in self.packets_by_telescope \
+                    and name not in self.tables_by_telescope:
                 raise AnalysisError(f"corpus missing telescope {name}")
 
     # -- access ------------------------------------------------------------
@@ -50,26 +60,64 @@ class PacketCorpus:
         return TELESCOPE_NAMES
 
     def packets(self, telescope: str) -> list[Packet]:
-        try:
-            return self.packets_by_telescope[telescope]
-        except KeyError:
-            raise AnalysisError(f"unknown telescope {telescope!r}") from None
+        packets = self.packets_by_telescope.get(telescope)
+        if packets is not None:
+            return packets
+        table = self.tables_by_telescope.get(telescope)
+        if table is None:
+            raise AnalysisError(f"unknown telescope {telescope!r}")
+        packets = table.to_packets()
+        self.packets_by_telescope[telescope] = packets
+        return packets
+
+    def table(self, telescope: str) -> PacketTable:
+        """Columnar view of a telescope's capture (built on first use)."""
+        table = self.tables_by_telescope.get(telescope)
+        if table is None:
+            table = PacketTable.from_packets(self.packets(telescope))
+            self.tables_by_telescope[telescope] = table
+        return table
 
     def all_packets(self) -> Iterator[Packet]:
         for name in TELESCOPE_NAMES:
-            yield from self.packets_by_telescope[name]
+            yield from self.packets(name)
 
     def total_packets(self) -> int:
-        return sum(len(p) for p in self.packets_by_telescope.values())
+        total = 0
+        for name in TELESCOPE_NAMES:
+            packets = self.packets_by_telescope.get(name)
+            if packets is not None:
+                total += len(packets)
+            else:
+                total += len(self.tables_by_telescope[name])
+        return total
 
     def phase_packets(self, telescope: str, phase: Phase) -> list[Packet]:
         """Packets of a telescope inside an observation phase (cached)."""
+        if phase is Phase.FULL:
+            # the filter is a no-op for the full phase: hand out the
+            # underlying list instead of copying it
+            return self.packets(telescope)
         key = (telescope, phase)
         if key not in self._phase_cache:
             start, end = phase_bounds(self.config, phase)
             self._phase_cache[key] = [
                 p for p in self.packets(telescope) if start <= p.time < end]
         return self._phase_cache[key]
+
+    def phase_table(self, telescope: str, phase: Phase) -> PacketTable:
+        """Columnar phase slice: a ``searchsorted`` on the sorted table."""
+        key = (telescope, phase)
+        cached = self._phase_table_cache.get(key)
+        if cached is None:
+            table = self.table(telescope).time_sorted()
+            if phase is Phase.FULL:
+                cached = table
+            else:
+                start, end = phase_bounds(self.config, phase)
+                cached = table.slice_time(start, end)
+            self._phase_table_cache[key] = cached
+        return cached
 
     # -- schedule helpers ------------------------------------------------------
 

@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.experiment.config import ExperimentConfig
 from repro.experiment.corpus import PacketCorpus
@@ -34,12 +34,13 @@ class ExperimentResult:
     population: list[Scanner]
     context: ScannerContext
     wall_seconds: float
+    _scanner_index: dict[int, Scanner] | None = field(
+        default=None, repr=False, compare=False)
 
     def scanner_by_id(self, scanner_id: int) -> Scanner | None:
-        for scanner in self.population:
-            if scanner.scanner_id == scanner_id:
-                return scanner
-        return None
+        if self._scanner_index is None:
+            self._scanner_index = {s.scanner_id: s for s in self.population}
+        return self._scanner_index.get(scanner_id)
 
     def ground_truth_temporal(self) -> dict[int, str]:
         """scanner_id -> generative temporal kind (validation only)."""
@@ -98,6 +99,9 @@ def run_experiment(config: ExperimentConfig | None = None,
         config=config,
         packets_by_telescope={
             name: telescope.capture.packets()
+            for name, telescope in deployment.telescopes.items()},
+        tables_by_telescope={
+            name: telescope.capture.table()
             for name, telescope in deployment.telescopes.items()},
         schedule=deployment.cycles(),
         registry=registry,

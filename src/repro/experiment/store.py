@@ -19,6 +19,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.bgp.controller import AnnouncementCycle
+from repro.core.columnar import PacketTable
 from repro.dns.resolver import Resolver
 from repro.dns.zone import Zone
 from repro.errors import AnalysisError
@@ -26,19 +27,8 @@ from repro.experiment.config import ExperimentConfig
 from repro.experiment.corpus import PacketCorpus, TELESCOPE_NAMES
 from repro.net.prefix import Prefix
 from repro.scanners.registry import ASRecord, ASRegistry, NetworkType
-from repro.telescope.packet import Packet, Protocol
 
 FORMAT_VERSION = 1
-
-_MASK64 = (1 << 64) - 1
-
-
-def _split_addr(value: int) -> tuple[int, int]:
-    return value >> 64, value & _MASK64
-
-
-def _join_addr(high: int, low: int) -> int:
-    return (int(high) << 64) | int(low)
 
 
 def save_corpus(corpus: PacketCorpus, path: str | Path) -> Path:
@@ -47,46 +37,23 @@ def save_corpus(corpus: PacketCorpus, path: str | Path) -> Path:
     directory.mkdir(parents=True, exist_ok=True)
 
     for telescope in TELESCOPE_NAMES:
-        packets = corpus.packets(telescope)
-        n = len(packets)
-        time = np.empty(n, dtype=np.float64)
-        src_hi = np.empty(n, dtype=np.uint64)
-        src_lo = np.empty(n, dtype=np.uint64)
-        dst_hi = np.empty(n, dtype=np.uint64)
-        dst_lo = np.empty(n, dtype=np.uint64)
-        proto = np.empty(n, dtype=np.uint8)
-        port = np.empty(n, dtype=np.uint16)
-        asn = np.empty(n, dtype=np.uint32)
-        scanner = np.empty(n, dtype=np.int64)
-        payload_offsets = np.zeros(n + 1, dtype=np.int64)
-        blobs = []
-        blob_len = 0
-        for i, p in enumerate(packets):
-            time[i] = p.time
-            src_hi[i], src_lo[i] = _split_addr(p.src)
-            dst_hi[i], dst_lo[i] = _split_addr(p.dst)
-            proto[i] = int(p.protocol)
-            port[i] = p.dst_port
-            asn[i] = p.src_asn
-            scanner[i] = p.scanner_id
-            if p.payload:
-                blobs.append(p.payload)
-                blob_len += len(p.payload)
-            payload_offsets[i + 1] = blob_len
-        blob = np.frombuffer(b"".join(blobs), dtype=np.uint8) \
-            if blobs else np.empty(0, dtype=np.uint8)
+        # the columnar table IS the on-disk layout: its arrays are written
+        # directly, with no per-packet Python loop
+        table = corpus.table(telescope)
+        payload_offsets, blob = table.payload_blob()
         np.savez_compressed(
             directory / f"packets_{telescope}.npz",
-            time=time, src_hi=src_hi, src_lo=src_lo, dst_hi=dst_hi,
-            dst_lo=dst_lo, proto=proto, port=port, asn=asn,
-            scanner=scanner, payload_offsets=payload_offsets,
-            payload_blob=blob)
+            time=table.time, src_hi=table.src_hi, src_lo=table.src_lo,
+            dst_hi=table.dst_hi, dst_lo=table.dst_lo,
+            proto=table.protocol, port=table.dst_port,
+            asn=table.src_asn, scanner=table.scanner_id,
+            payload_offsets=payload_offsets, payload_blob=blob)
 
     # the resolver only answers point queries, so RDNS entries are
     # persisted for every observed source address
     rdns: dict[str, str] = {}
     for telescope in TELESCOPE_NAMES:
-        for src in {p.src for p in corpus.packets(telescope)}:
+        for src in corpus.table(telescope).unique_source_addresses():
             name = corpus.rdns(src)
             if name:
                 rdns[str(src)] = name
@@ -175,36 +142,26 @@ def load_corpus(path: str | Path) -> PacketCorpus:
         rdns_zone.add_ptr(int(src_text), name)
     resolver = Resolver([rdns_zone])
 
-    packets_by_telescope: dict[str, list[Packet]] = {}
+    tables_by_telescope: dict[str, PacketTable] = {}
     for telescope in TELESCOPE_NAMES:
         with np.load(directory / f"packets_{telescope}.npz") as data:
             # materialize every column once — indexing the lazy npz
-            # members re-decompresses the whole array per access
-            time = data["time"]
-            src_hi, src_lo = data["src_hi"], data["src_lo"]
-            dst_hi, dst_lo = data["dst_hi"], data["dst_lo"]
-            proto, port = data["proto"], data["port"]
-            asn, scanner = data["asn"], data["scanner"]
-            blob = data["payload_blob"].tobytes()
-            offsets = data["payload_offsets"]
-            packets = []
-            for i in range(len(time)):
-                lo, hi = int(offsets[i]), int(offsets[i + 1])
-                payload = blob[lo:hi] if hi > lo else None
-                packets.append(Packet(
-                    time=float(time[i]),
-                    src=_join_addr(src_hi[i], src_lo[i]),
-                    dst=_join_addr(dst_hi[i], dst_lo[i]),
-                    protocol=Protocol(int(proto[i])),
-                    dst_port=int(port[i]),
-                    payload=payload,
-                    src_asn=int(asn[i]),
-                    scanner_id=int(scanner[i])))
-            packets_by_telescope[telescope] = packets
+            # members re-decompresses the whole array per access.
+            # Columns go straight into a PacketTable; Packet objects are
+            # only built if an analysis asks for them.
+            tables_by_telescope[telescope] = PacketTable.from_blob_arrays(
+                time=data["time"],
+                src_hi=data["src_hi"], src_lo=data["src_lo"],
+                dst_hi=data["dst_hi"], dst_lo=data["dst_lo"],
+                protocol=data["proto"], dst_port=data["port"],
+                src_asn=data["asn"], scanner_id=data["scanner"],
+                payload_offsets=data["payload_offsets"],
+                payload_blob=data["payload_blob"])
 
     return PacketCorpus(
         config=config,
-        packets_by_telescope=packets_by_telescope,
+        packets_by_telescope={},
+        tables_by_telescope=tables_by_telescope,
         schedule=schedule,
         registry=registry,
         resolver=resolver,

@@ -32,21 +32,30 @@ class Event:
     action: Callable[[], Any] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _queue: Any = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._live -= 1
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` ordered by (time, insertion order)."""
+    """Min-heap of :class:`Event` ordered by (time, insertion order).
+
+    Tracks a live-event counter so ``len()`` is O(1): schedule increments
+    it, cancel and pop-of-live decrement it.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def schedule(self, time: float, action: Callable[[], Any],
                  label: str = "") -> Event:
@@ -54,8 +63,9 @@ class EventQueue:
         if time < 0:
             raise SimulationError(f"cannot schedule event before t=0 ({time})")
         event = Event(time=float(time), seq=next(self._counter),
-                      action=action, label=label)
+                      action=action, label=label, _queue=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def peek_time(self) -> float | None:
@@ -66,7 +76,12 @@ class EventQueue:
     def pop(self) -> Event | None:
         """Remove and return the next live event, or ``None`` if empty."""
         self._drop_cancelled()
-        return heapq.heappop(self._heap) if self._heap else None
+        if not self._heap:
+            return None
+        self._live -= 1
+        event = heapq.heappop(self._heap)
+        event._queue = None  # a late cancel() must not re-decrement
+        return event
 
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:

@@ -47,6 +47,7 @@ class PacketCapture:
     capture_filter: CaptureFilter | None = None
     _packets: list[Packet] = field(default_factory=list)
     _sorted: bool = field(default=True)
+    _table: object = field(default=None, repr=False)
     dropped: int = 0
 
     def record(self, packet: Packet) -> bool:
@@ -61,6 +62,7 @@ class PacketCapture:
         if self._packets and packet.time < self._packets[-1].time:
             self._sorted = False
         self._packets.append(packet)
+        self._table = None
         return True
 
     def extend(self, packets: Iterable[Packet]) -> int:
@@ -83,6 +85,18 @@ class PacketCapture:
             self._packets.sort(key=lambda p: p.time)
             self._sorted = True
         return self._packets
+
+    def table(self):
+        """Columnar (structure-of-arrays) view of the sorted capture.
+
+        Cached until the next append; shares the capture's ``Packet``
+        objects so analyses materializing rows get identical instances.
+        """
+        if self._table is None:
+            # deferred: repro.core pulls in telescope.packet at import time
+            from repro.core.columnar import PacketTable
+            self._table = PacketTable.from_packets(self.packets())
+        return self._table
 
     def filtered(self, predicate: Callable[[Packet], bool]) -> list[Packet]:
         return [p for p in self.packets() if predicate(p)]
