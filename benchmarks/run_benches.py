@@ -4,12 +4,19 @@
 Runs the bench corpus at a fixed scale and times the stages that gate
 production throughput:
 
-- ``corpus_build`` — full campaign simulation + corpus packaging;
+- ``corpus_build`` — full campaign simulation + corpus packaging, with
+  per-stage span timings (``stages``) from the driver's flight recorder;
 - ``cold_analysis_columnar`` — sessionize all telescopes at /128 and
   /64 over the full phase on the columnar engine (the default path);
 - ``cold_analysis_legacy`` — the same work on the per-packet object
   path (kept as the correctness oracle);
 - ``tables`` — per-table generation (Tables 2-8) on a warm analysis.
+
+The cold-analysis timings run with *no* recorder installed, so they
+measure the disabled-instrumentation path a production analysis sees.
+``--emit-metrics`` additionally embeds the flight recorder's metrics
+snapshot (per-telescope packet counters, event-loop accounting) as an
+``obs`` smoke target for CI.
 
 Results land in ``BENCH_<date>.json`` next to this script (override
 with ``--out``), so the perf trajectory stays diffable across PRs::
@@ -26,6 +33,7 @@ import platform
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.analysis import tables as T
 from repro.analysis.context import CorpusAnalysis
 from repro.core.aggregation import AggregationLevel
@@ -78,6 +86,9 @@ def main() -> None:
                         help="campaign seed (default 42)")
     parser.add_argument("--skip-legacy", action="store_true",
                         help="skip the slow object-path oracle timing")
+    parser.add_argument("--emit-metrics", action="store_true",
+                        help="embed the flight recorder's metrics snapshot "
+                             "in the report (obs smoke target)")
     parser.add_argument("--out", type=Path, default=None,
                         help="output path (default benchmarks/BENCH_<date>"
                              ".json)")
@@ -85,10 +96,16 @@ def main() -> None:
 
     config = ExperimentConfig(seed=args.seed, scale=args.scale)
     print(f"simulating campaign (seed={args.seed} scale={args.scale}) ...")
-    build_seconds, result = time_call(lambda: run_experiment(config))
+    # record the build so the report gets stage-resolved timings; the
+    # recorder is uninstalled again before any analysis timing below,
+    # which must measure the disabled-instrumentation path
+    with obs.FlightRecorder() as recorder:
+        build_seconds, result = time_call(lambda: run_experiment(config))
     corpus = result.corpus
     total_packets = corpus.total_packets()
     print(f"  corpus: {total_packets} packets in {build_seconds:.2f}s")
+    for stage, seconds in result.stage_seconds.items():
+        print(f"    {stage}: {seconds:.2f}s")
 
     columnar_seconds, columnar_sessions = cold_analysis(corpus, True)
     print(f"  cold analysis (columnar): first {columnar_seconds['first']:.3f}s"
@@ -122,6 +139,8 @@ def main() -> None:
                                      for t in corpus.telescopes()}},
         "seconds": {
             "corpus_build": round(build_seconds, 4),
+            "stages": {k: round(v, 4)
+                       for k, v in result.stage_seconds.items()},
             "cold_analysis_columnar":
                 {k: round(v, 4) for k, v in columnar_seconds.items()},
             "cold_analysis_legacy":
@@ -137,6 +156,8 @@ def main() -> None:
                           / columnar_seconds["best"], 2),
         } if legacy_seconds else None,
     }
+    if args.emit_metrics:
+        report["metrics"] = recorder.metrics.snapshot()
     out = args.out or (Path(__file__).parent
                        / f"BENCH_{report['date']}.json")
     out.write_text(json.dumps(report, indent=1) + "\n")

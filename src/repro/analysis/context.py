@@ -15,6 +15,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.aggregation import AggregationLevel
 from repro.core.columnar import sessionize_table
 from repro.core.netclass import NetworkClass
@@ -47,7 +48,14 @@ class CorpusAnalysis:
                  level: AggregationLevel = AggregationLevel.ADDR,
                  phase: Phase = Phase.FULL) -> SessionSet:
         key = (telescope, level, phase)
-        if key not in self._sessions:
+        cached = self._sessions.get(key)
+        if cached is not None:
+            obs.add("analysis.sessions.cache_hits_total")
+            return cached
+        obs.add("analysis.sessions.cache_misses_total")
+        with obs.span("analysis.sessionize", telescope=telescope,
+                      level=level.name, phase=phase.name,
+                      engine="columnar" if self.use_columnar else "legacy"):
             if self.use_columnar:
                 table = self.corpus.phase_table(telescope, phase)
                 self._sessions[key] = sessionize_table(
@@ -78,17 +86,26 @@ class CorpusAnalysis:
             -> dict[int, TemporalClass]:
         key = (telescope, level, phase)
         if key not in self._temporal:
-            self._temporal[key] = classify_temporal_all(
-                self.by_source(telescope, level, phase))
+            obs.add("analysis.classify.cache_misses_total")
+            with obs.span("analysis.classify_temporal", telescope=telescope,
+                          level=level.name, phase=phase.name):
+                self._temporal[key] = classify_temporal_all(
+                    self.by_source(telescope, level, phase))
+        else:
+            obs.add("analysis.classify.cache_hits_total")
         return self._temporal[key]
 
     def network_classes(self, level: AggregationLevel = AggregationLevel.ADDR) \
             -> dict[int, NetworkClass]:
         """T1 split-period network-selection classes per source."""
         if level not in self._network:
-            self._network[level] = classify_network_all(
-                self.by_source("T1", level, Phase.SPLIT),
-                self.corpus.schedule)
+            obs.add("analysis.classify.cache_misses_total")
+            with obs.span("analysis.classify_network", level=level.name):
+                self._network[level] = classify_network_all(
+                    self.by_source("T1", level, Phase.SPLIT),
+                    self.corpus.schedule)
+        else:
+            obs.add("analysis.classify.cache_hits_total")
         return self._network[level]
 
     # -- convenience -----------------------------------------------------------------

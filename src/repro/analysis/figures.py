@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.context import CorpusAnalysis
+from repro.obs import traced
 from repro.core.addrclass import AddressClass, classify_session
 from repro.core.aggregation import AggregationLevel
 from repro.core.heavy import HeavyHitter, find_heavy_hitters
@@ -64,6 +65,7 @@ class Fig3Result:
         return "\n".join(lines)
 
 
+@traced("analysis.fig3")
 def fig3(analysis: CorpusAnalysis) -> Fig3Result:
     packets = [p for t in TELESCOPES
                for p in analysis.corpus.phase_packets(t, Phase.INITIAL)]
@@ -95,6 +97,7 @@ class Fig4Result:
         return "\n".join(lines)
 
 
+@traced("analysis.fig4")
 def fig4(analysis: CorpusAnalysis) -> Fig4Result:
     packets = sorted((p for t in TELESCOPES
                       for p in analysis.corpus.phase_packets(t, Phase.FULL)),
@@ -167,6 +170,7 @@ class Fig5Result:
         return "\n".join(lines)
 
 
+@traced("analysis.fig5")
 def fig5(analysis: CorpusAnalysis) -> Fig5Result:
     packets_by_telescope = {
         t: analysis.corpus.phase_packets(t, Phase.FULL) for t in TELESCOPES}
@@ -208,6 +212,7 @@ class Fig7Result:
         return "\n".join(lines)
 
 
+@traced("analysis.fig7")
 def fig7(analysis: CorpusAnalysis) -> Fig7Result:
     split_start = analysis.corpus.config.split_start
     hours = int(split_start / HOUR)
@@ -257,6 +262,7 @@ class Fig8Result:
         return "\n".join(lines)
 
 
+@traced("analysis.fig8")
 def fig8(analysis: CorpusAnalysis) -> Fig8Result:
     asn_sets: dict[str, set] = {}
     source_sets: dict[str, set] = {}
@@ -281,6 +287,7 @@ class Fig9Result:
         return "\n".join(lines)
 
 
+@traced("analysis.fig9")
 def fig9(analysis: CorpusAnalysis) -> Fig9Result:
     weeks = int(analysis.corpus.config.split_start / WEEK)
     weekly: dict[str, list[int]] = {}
@@ -323,6 +330,7 @@ class Fig10Result:
         return "\n".join(lines)
 
 
+@traced("analysis.fig10")
 def fig10(analysis: CorpusAnalysis) -> Fig10Result:
     sessions = analysis.sessions("T1", AggregationLevel.ADDR,
                                  Phase.FULL).sessions
@@ -349,6 +357,7 @@ class Fig11Result:
         return "\n".join(lines)
 
 
+@traced("analysis.fig11")
 def fig11(analysis: CorpusAnalysis) -> Fig11Result:
     cycles = analysis.corpus.schedule
     t1_sessions = analysis.sessions("T1", AggregationLevel.ADDR,
@@ -412,6 +421,7 @@ def _nibble_matrix(session: Session) -> NibbleMatrix:
     return NibbleMatrix(source=session.source, nibbles=data)
 
 
+@traced("analysis.fig12")
 def fig12(analysis: CorpusAnalysis, min_packets: int = 100) -> Fig12Result:
     """Pick one structured and one random T1 session and matrix them."""
     structured = best_random = None
@@ -429,6 +439,7 @@ def fig12(analysis: CorpusAnalysis, min_packets: int = 100) -> Fig12Result:
     return Fig12Result(structured=structured, random=best_random)
 
 
+@traced("analysis.fig13")
 def fig13(analysis: CorpusAnalysis, min_packets: int = 100) -> NibbleMatrix:
     """Fig. 12(a)'s session sorted lexicographically (Fig. 13)."""
     result = fig12(analysis, min_packets)
@@ -455,6 +466,7 @@ class Fig14Result:
         return "\n".join(lines)
 
 
+@traced("analysis.fig14")
 def fig14(analysis: CorpusAnalysis) -> Fig14Result:
     t1 = analysis.corpus.t1_prefix
     temporal = analysis.temporal_classes("T1", AggregationLevel.ADDR,
@@ -490,6 +502,7 @@ class Fig15Result:
         return "\n".join(lines)
 
 
+@traced("analysis.fig15")
 def fig15(analysis: CorpusAnalysis) -> Fig15Result:
     temporal = analysis.temporal_classes("T1", AggregationLevel.ADDR,
                                          Phase.SPLIT)
@@ -519,6 +532,7 @@ class Fig16Result:
         return "\n".join(lines)
 
 
+@traced("analysis.fig16")
 def fig16(analysis: CorpusAnalysis) -> Fig16Result:
     source_sets = {
         t: {p.src for p in analysis.corpus.phase_packets(t, Phase.FULL)}
@@ -568,6 +582,7 @@ class Fig17Result:
         return "\n".join(lines)
 
 
+@traced("analysis.fig17")
 def fig17(analysis: CorpusAnalysis, min_packets: int = 100) -> Fig17Result:
     temporal = analysis.temporal_classes("T1", AggregationLevel.ADDR,
                                          Phase.SPLIT)

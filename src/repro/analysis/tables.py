@@ -11,6 +11,7 @@ from collections import Counter
 from dataclasses import dataclass
 
 from repro.analysis.context import CorpusAnalysis
+from repro.obs import traced
 from repro.analysis.report import Table, format_count, format_share
 from repro.core.aggregation import AggregationLevel
 from repro.core.heavy import find_heavy_hitters
@@ -43,6 +44,7 @@ class Table2Result:
     table: Table
 
 
+@traced("analysis.table2")
 def table2(analysis: CorpusAnalysis, phase: Phase = Phase.FULL) \
         -> Table2Result:
     """Table 2: per-protocol traffic across all telescopes."""
@@ -88,6 +90,7 @@ class Table3Result:
     table: Table
 
 
+@traced("analysis.table3")
 def table3(analysis: CorpusAnalysis, phase: Phase = Phase.FULL) \
         -> Table3Result:
     """Table 3: addr6 target-type distribution (packets and sources)."""
@@ -139,6 +142,7 @@ class Table4Result:
     table: Table
 
 
+@traced("analysis.table4")
 def table4(analysis: CorpusAnalysis, phase: Phase = Phase.FULL,
            n: int = 5) -> Table4Result:
     """Table 4: top target ports per session (/64 source aggregation)."""
@@ -184,6 +188,7 @@ class Table5Result:
     table_b: Table
 
 
+@traced("analysis.table5")
 def table5(analysis: CorpusAnalysis) -> Table5Result:
     """Table 5: telescope comparison before the split period."""
     sources_128: dict[str, int] = {}
@@ -248,6 +253,7 @@ class Table6Result:
     table: Table
 
 
+@traced("analysis.table6")
 def table6(analysis: CorpusAnalysis) -> Table6Result:
     """Table 6: temporal and network-selection classes (T1, split)."""
     by_source = analysis.by_source("T1", AggregationLevel.ADDR, Phase.SPLIT)
@@ -313,6 +319,7 @@ class Table7Result:
     table: Table
 
 
+@traced("analysis.table7")
 def table7(analysis: CorpusAnalysis) -> Table7Result:
     """Table 7: public scan tools identified via payloads and RDNS."""
     session_set = analysis.split_sessions_t1()
@@ -351,6 +358,7 @@ class Table8Result:
     table: Table
 
 
+@traced("analysis.table8")
 def table8(analysis: CorpusAnalysis) -> Table8Result:
     """Table 8: scanner origins by network type, with/without hitters."""
     registry = analysis.corpus.registry

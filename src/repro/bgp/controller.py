@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.bgp.speaker import BGPSpeaker
 from repro.errors import ExperimentError
 from repro.net.prefix import Prefix
@@ -146,12 +147,15 @@ class SplitController:
         self._active_cycle = cycle
         for prefix in cycle.prefixes:
             self.speaker.originate(prefix)
+        obs.add("bgp.announcements_total", len(cycle.prefixes))
+        obs.add("bgp.announce_cycles_total")
         if self.on_announce is not None:
             self.on_announce(cycle)
 
     def _withdraw(self, cycle: AnnouncementCycle) -> None:
         for prefix in cycle.prefixes:
             self.speaker.withdraw_origin(prefix)
+        obs.add("bgp.withdrawals_total", len(cycle.prefixes))
         if self._active_cycle is cycle:
             self._active_cycle = None
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.analysis.context import CorpusAnalysis
 from repro.analysis import figures as figure_module
 from repro.analysis.tables import (table2, table3, table4, table5, table6,
@@ -26,6 +27,25 @@ from repro.telescope.deployment import T1_PREFIX
 
 FIGURES = ("fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
            "fig11", "fig12", "fig14", "fig15", "fig16", "fig17")
+
+#: Sim-time spacing of ``-v`` heartbeat lines (one per simulated week).
+HEARTBEAT_INTERVAL = WEEK
+
+log = obs.log.get_logger("cli")
+
+
+def _add_obs_flags(cmd: argparse.ArgumentParser) -> None:
+    """Observability flags shared by every pipeline subcommand."""
+    cmd.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a Chrome trace-event JSON (Perfetto) "
+                          "of the run")
+    cmd.add_argument("--metrics", metavar="PATH", default=None,
+                     help="write a metrics snapshot JSON of the run")
+    cmd.add_argument("--log-level", choices=obs.log.LEVELS, default="info",
+                     help="stderr log verbosity (default info)")
+    cmd.add_argument("-v", "--verbose", action="store_true",
+                     help="log a sim-time heartbeat (events/sec, queue "
+                          "depth, ETA) while simulating")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--seed", type=int, default=42)
         cmd.add_argument("--scale", type=float, default=0.1,
                          help="population scale (default 0.1)")
+        _add_obs_flags(cmd)
         if name == "figures":
             cmd.add_argument("--only", choices=FIGURES, default=None,
                              help="print a single figure")
@@ -65,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     load = sub.add_parser("load",
                           help="load a saved corpus and print Tables 2-8")
     load.add_argument("path", help="corpus directory written by 'save'")
+    _add_obs_flags(load)
     return parser
 
 
@@ -83,12 +105,11 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 def _simulate(args: argparse.Namespace):
     config = ExperimentConfig(seed=args.seed, scale=args.scale)
     weeks = config.duration / WEEK
-    print(f"simulating {weeks:.0f} weeks at scale {args.scale} "
-          f"(seed {args.seed}) ...", file=sys.stderr)
+    log.info("simulating %.0f weeks at scale %s (seed %s) ...",
+             weeks, args.scale, args.seed)
     result = run_experiment(config)
-    print(f"done in {result.wall_seconds:.1f}s: "
-          f"{result.corpus.total_packets():,} packets",
-          file=sys.stderr)
+    log.info("done in %.1fs: %s packets",
+             result.wall_seconds, f"{result.corpus.total_packets():,}")
     return result
 
 
@@ -96,10 +117,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = _simulate(args)
     corpus = result.corpus
     for telescope in corpus.telescopes():
-        packets = corpus.packets(telescope)
-        print(f"{telescope}: {len(packets):,} packets, "
-              f"{len({p.src for p in packets}):,} sources, "
-              f"{len({p.src_asn for p in packets if p.src_asn}):,} ASes")
+        with obs.span("analysis.summary", telescope=telescope):
+            packets = corpus.packets(telescope)
+            print(f"{telescope}: {len(packets):,} packets, "
+                  f"{len({p.src for p in packets}):,} sources, "
+                  f"{len({p.src_asn for p in packets if p.src_asn}):,} ASes")
+    total = sum(result.stage_seconds.values())
+    print(f"stages ({total:.1f}s of {result.wall_seconds:.1f}s):")
+    for stage, seconds in result.stage_seconds.items():
+        print(f"  {stage:<20} {seconds:8.2f}s")
     return 0
 
 
@@ -164,8 +190,8 @@ def cmd_save(args: argparse.Namespace) -> int:
 def cmd_load(args: argparse.Namespace) -> int:
     from repro.experiment.store import load_corpus
     corpus = load_corpus(args.path)
-    print(f"loaded {corpus.total_packets():,} packets "
-          f"from {args.path}", file=sys.stderr)
+    log.info("loaded %s packets from %s",
+             f"{corpus.total_packets():,}", args.path)
     _print_tables(CorpusAnalysis(corpus))
     return 0
 
@@ -181,8 +207,35 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dispatch_with_obs(handler, args: argparse.Namespace) -> int:
+    """Run a handler under a flight recorder when any obs flag asks for one.
+
+    The recorder stays installed for the handler's whole lifetime (so
+    simulation *and* analysis spans land in one trace) and the requested
+    export files are written even if the handler fails.
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    verbose = getattr(args, "verbose", False)
+    if not (trace_path or metrics_path or verbose):
+        return handler(args)
+    recorder = obs.FlightRecorder(
+        heartbeat_interval=HEARTBEAT_INTERVAL if verbose else None)
+    try:
+        with recorder:
+            return handler(args)
+    finally:
+        if trace_path:
+            recorder.write_trace(trace_path)
+            log.info("trace written to %s", trace_path)
+        if metrics_path:
+            recorder.write_metrics(metrics_path)
+            log.info("metrics written to %s", metrics_path)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    obs.log.configure(getattr(args, "log_level", "info"))
     handlers = {
         "schedule": cmd_schedule,
         "run": cmd_run,
@@ -194,7 +247,7 @@ def main(argv: list[str] | None = None) -> int:
         "load": cmd_load,
     }
     try:
-        return handlers[args.command](args)
+        return _dispatch_with_obs(handlers[args.command], args)
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2

@@ -31,6 +31,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.aggregation import AggregationLevel
 from repro.core.sessions import DEFAULT_TIMEOUT, Session, SessionSet
 from repro.errors import AnalysisError
@@ -211,9 +212,12 @@ class PacketTable:
         """Rows with ``start <= time < end`` (table must be time-sorted)."""
         if not self.is_time_sorted:
             raise AnalysisError("slice_time requires a time-sorted table")
-        lo = int(np.searchsorted(self.time, start, side="left"))
-        hi = int(np.searchsorted(self.time, end, side="left"))
-        return self._row_slice(lo, hi)
+        with obs.span("columnar.phase_slice", packets=len(self),
+                      start=start, end=end) as sp:
+            lo = int(np.searchsorted(self.time, start, side="left"))
+            hi = int(np.searchsorted(self.time, end, side="left"))
+            sp.set(rows=hi - lo)
+            return self._row_slice(lo, hi)
 
     def _row_slice(self, lo: int, hi: int) -> "PacketTable":
         objects = self._objects[lo:hi] if self._objects is not None else None
@@ -247,12 +251,18 @@ class PacketTable:
 
     def distinct_sources(self, level: AggregationLevel) -> set[int]:
         """Aggregated source keys present in the table."""
-        key_hi, key_lo = self.source_key_columns(level)
-        if key_hi is None:
-            return set(np.unique(key_lo).tolist())
-        pairs = np.unique(
-            np.stack((key_hi, key_lo), axis=1), axis=0)
-        return {(int(hi) << 64) | int(lo) for hi, lo in pairs.tolist()}
+        with obs.span("columnar.aggregate", level=level.name,
+                      packets=len(self)) as sp:
+            key_hi, key_lo = self.source_key_columns(level)
+            if key_hi is None:
+                sources = set(np.unique(key_lo).tolist())
+            else:
+                pairs = np.unique(
+                    np.stack((key_hi, key_lo), axis=1), axis=0)
+                sources = {(int(hi) << 64) | int(lo)
+                           for hi, lo in pairs.tolist()}
+            sp.set(sources=len(sources))
+            return sources
 
     def unique_source_addresses(self) -> set[int]:
         """Distinct 128-bit source addresses (no object materialization)."""
@@ -388,7 +398,21 @@ def sessionize_table(table: PacketTable, telescope: str = "",
     n = len(table)
     if n == 0:
         return result
+    with obs.span("columnar.sessionize", telescope=telescope,
+                  level=level.name, packets=n) as obs_span:
+        _sessionize_into(result, table, telescope, level, timeout, n)
+        obs_span.set(sessions=len(result.sessions))
+    if obs.current() is not None:
+        obs.add("columnar.packets_sessionized_total", n,
+                telescope=telescope)
+        obs.add("columnar.sessions_total", len(result.sessions),
+                telescope=telescope)
+    return result
 
+
+def _sessionize_into(result: SessionSet, table: PacketTable, telescope: str,
+                     level: AggregationLevel, timeout: float,
+                     n: int) -> None:
     key_hi, key_lo = table.source_key_columns(level)
     if key_hi is None:
         order = np.lexsort((table.time, key_lo))
@@ -452,4 +476,3 @@ def sessionize_table(table: PacketTable, telescope: str = "",
     finally:
         if gc_was_enabled:
             gc.enable()
-    return result

@@ -7,6 +7,13 @@
 3. register RDNS entries for fixed-source scanners,
 4. schedule every scanner and run the simulator to the horizon,
 5. package the captures into a :class:`PacketCorpus`.
+
+Each stage runs inside a ``driver.*`` tracing span. When a
+:class:`repro.obs.FlightRecorder` is installed the spans land in its
+trace (nested under ``driver.run_experiment``, with ``sim.run_until``
+below ``driver.simulate``) and the simulator heartbeat is attached;
+otherwise a private throwaway tracer measures the same stages so
+:attr:`ExperimentResult.stage_seconds` is always populated.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from __future__ import annotations
 import time as _time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.experiment.config import ExperimentConfig
 from repro.experiment.corpus import PacketCorpus
 from repro.scanners.base import Scanner, ScannerContext, SourceModel
@@ -34,6 +42,7 @@ class ExperimentResult:
     population: list[Scanner]
     context: ScannerContext
     wall_seconds: float
+    stage_seconds: dict[str, float] = field(default_factory=dict)
     _scanner_index: dict[int, Scanner] | None = field(
         default=None, repr=False, compare=False)
 
@@ -51,69 +60,101 @@ class ExperimentResult:
                 for s in self.population if s.truth_network_class}
 
 
+#: Stage names, in execution order, as they appear in ``stage_seconds``
+#: and as ``driver.<stage>`` tracing spans.
+STAGES = ("build_deployment", "build_population", "schedule_scanners",
+          "simulate", "package_corpus")
+
+
 def run_experiment(config: ExperimentConfig | None = None,
                    registry: ASRegistry | None = None) -> ExperimentResult:
     """Run one full measurement campaign and return its result."""
     started = _time.monotonic()
     if config is None:
         config = ExperimentConfig()
-    streams = RngStreams(config.seed)
-    deployment = build_deployment(
-        streams,
-        baseline_weeks=config.baseline_weeks,
-        cycle_weeks=config.cycle_weeks,
-        num_cycles=config.num_cycles,
-        num_tier1=config.num_tier1,
-        num_tier2=config.num_tier2,
-        num_stubs=config.num_stubs,
-        feed_delay=config.feed_delay)
-    if registry is None:
-        registry = ASRegistry()
+    recorder = obs.current()
+    tracer = recorder.tracer if recorder is not None else obs.Tracer()
+    stage_seconds: dict[str, float] = {}
 
-    inputs = PopulationInputs(
-        schedule=deployment.cycles(),
-        announced=lambda: deployment.announced_t1_prefixes(),
-        t1_prefix=T1_PREFIX,
-        t2_prefix=T2_PREFIX,
-        t3_prefix=T3_PREFIX,
-        t4_prefix=T4_PREFIX,
-        attractor_addr=deployment.productive.attractor_addr,
-        duration=config.duration)
-    population = build_population(config.population, inputs, registry,
-                                  streams)
+    with tracer.span("driver.run_experiment",
+                     seed=config.seed, scale=config.scale):
+        streams = RngStreams(config.seed)
+        with tracer.span("driver.build_deployment") as sp:
+            deployment = build_deployment(
+                streams,
+                baseline_weeks=config.baseline_weeks,
+                cycle_weeks=config.cycle_weeks,
+                num_cycles=config.num_cycles,
+                num_tier1=config.num_tier1,
+                num_tier2=config.num_tier2,
+                num_stubs=config.num_stubs,
+                feed_delay=config.feed_delay)
+        stage_seconds["build_deployment"] = sp.duration
+        if registry is None:
+            registry = ASRegistry()
 
-    context = ScannerContext(
-        simulator=deployment.simulator,
-        route=deployment.route,
-        collector=deployment.collector,
-        window_start=0.0,
-        window_end=config.duration)
+        inputs = PopulationInputs(
+            schedule=deployment.cycles(),
+            announced=lambda: deployment.announced_t1_prefixes(),
+            t1_prefix=T1_PREFIX,
+            t2_prefix=T2_PREFIX,
+            t3_prefix=T3_PREFIX,
+            t4_prefix=T4_PREFIX,
+            attractor_addr=deployment.productive.attractor_addr,
+            duration=config.duration)
+        with tracer.span("driver.build_population") as sp:
+            population = build_population(config.population, inputs,
+                                          registry, streams)
+        stage_seconds["build_population"] = sp.duration
 
-    for scanner in population:
-        _register_rdns(deployment, scanner)
-        scanner.start(context)
+        context = ScannerContext(
+            simulator=deployment.simulator,
+            route=deployment.route,
+            collector=deployment.collector,
+            window_start=0.0,
+            window_end=config.duration)
 
-    deployment.simulator.run_until(config.duration)
+        with tracer.span("driver.schedule_scanners",
+                         scanners=len(population)) as sp:
+            for scanner in population:
+                _register_rdns(deployment, scanner)
+                scanner.start(context)
+        stage_seconds["schedule_scanners"] = sp.duration
 
-    corpus = PacketCorpus(
-        config=config,
-        packets_by_telescope={
-            name: telescope.capture.packets()
-            for name, telescope in deployment.telescopes.items()},
-        tables_by_telescope={
-            name: telescope.capture.table()
-            for name, telescope in deployment.telescopes.items()},
-        schedule=deployment.cycles(),
-        registry=registry,
-        resolver=deployment.resolver,
-        t1_prefix=T1_PREFIX,
-        t2_prefix=T2_PREFIX,
-        t3_prefix=T3_PREFIX,
-        t4_prefix=T4_PREFIX,
-        attractor_addr=deployment.productive.attractor_addr)
+        if recorder is not None:
+            recorder.attach(deployment.simulator, config.duration)
+        try:
+            with tracer.span("driver.simulate",
+                             horizon=config.duration) as sp:
+                deployment.simulator.run_until(config.duration)
+        finally:
+            if recorder is not None:
+                recorder.detach(deployment.simulator)
+        stage_seconds["simulate"] = sp.duration
+
+        with tracer.span("driver.package_corpus") as sp:
+            corpus = PacketCorpus(
+                config=config,
+                packets_by_telescope={
+                    name: telescope.capture.packets()
+                    for name, telescope in deployment.telescopes.items()},
+                tables_by_telescope={
+                    name: telescope.capture.table()
+                    for name, telescope in deployment.telescopes.items()},
+                schedule=deployment.cycles(),
+                registry=registry,
+                resolver=deployment.resolver,
+                t1_prefix=T1_PREFIX,
+                t2_prefix=T2_PREFIX,
+                t3_prefix=T3_PREFIX,
+                t4_prefix=T4_PREFIX,
+                attractor_addr=deployment.productive.attractor_addr)
+        stage_seconds["package_corpus"] = sp.duration
+
     return ExperimentResult(
         corpus=corpus, deployment=deployment, population=population,
-        context=context, wall_seconds=_time.monotonic() - started)
+        context=context, wall_seconds=_time.monotonic() - started,
+        stage_seconds=stage_seconds)
 
 
 def _register_rdns(deployment: Deployment, scanner: Scanner) -> None:

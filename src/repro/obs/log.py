@@ -1,0 +1,62 @@
+"""Stdlib-logging helpers for pipeline progress output.
+
+All of repro's progress chatter goes through the ``repro`` logger
+hierarchy: payloads (tables, figures, schedules) stay on stdout so they
+remain machine-parseable, while progress and heartbeat lines land on
+stderr at a level the user controls with ``--log-level``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+LOGGER = logging.getLogger("repro")
+
+LEVELS = ("debug", "info", "warning", "error")
+
+_handler: logging.Handler | None = None
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The ``repro`` logger, or a child of it."""
+    return LOGGER if not name else LOGGER.getChild(name)
+
+
+def configure(level: str = "info", stream=None, fmt: str = "%(message)s") \
+        -> logging.Logger:
+    """Idempotently attach one stderr handler and set the level.
+
+    Repeated calls re-level the existing handler instead of stacking new
+    ones, so tests and long-lived processes can reconfigure freely.
+    """
+    global _handler
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r} "
+                         f"(choose from {', '.join(LEVELS)})")
+    if _handler is None:
+        _handler = logging.StreamHandler(stream or sys.stderr)
+        _handler.setFormatter(logging.Formatter(fmt))
+        LOGGER.addHandler(_handler)
+        LOGGER.propagate = False
+    elif stream is not None:
+        _handler.setStream(stream)
+    LOGGER.setLevel(numeric)
+    return LOGGER
+
+
+def debug(msg: str, *args) -> None:
+    LOGGER.debug(msg, *args)
+
+
+def info(msg: str, *args) -> None:
+    LOGGER.info(msg, *args)
+
+
+def warning(msg: str, *args) -> None:
+    LOGGER.warning(msg, *args)
+
+
+def error(msg: str, *args) -> None:
+    LOGGER.error(msg, *args)

@@ -12,6 +12,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.sim.clock import SimClock
 
@@ -40,19 +41,27 @@ class Event:
             self.cancelled = True
             if self._queue is not None:
                 self._queue._live -= 1
+                self._queue.events_cancelled += 1
 
 
 class EventQueue:
     """Min-heap of :class:`Event` ordered by (time, insertion order).
 
     Tracks a live-event counter so ``len()`` is O(1): schedule increments
-    it, cancel and pop-of-live decrement it.
+    it, cancel and pop-of-live decrement it. ``events_cancelled`` counts
+    each cancellation exactly once, at :meth:`Event.cancel` time — the
+    lazy heap cleanup in :meth:`_drop_cancelled` never touches either
+    counter, so depth and cancellation accounting are independent of when
+    dead entries physically leave the heap. ``high_water`` is the maximum
+    number of simultaneously live events ever observed.
     """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._live = 0
+        self.events_cancelled = 0
+        self.high_water = 0
 
     def __len__(self) -> int:
         return self._live
@@ -66,6 +75,8 @@ class EventQueue:
                       action=action, label=label, _queue=self)
         heapq.heappush(self._heap, event)
         self._live += 1
+        if self._live > self.high_water:
+            self.high_water = self._live
         return event
 
     def peek_time(self) -> float | None:
@@ -94,12 +105,20 @@ class Simulator:
     The simulator is deliberately minimal: components schedule events
     (possibly from within event callbacks) and :meth:`run_until` executes
     them in time order until the horizon.
+
+    A flight recorder (or any observer) may set :attr:`heartbeat` and a
+    positive :attr:`heartbeat_interval` (sim seconds): the hook is then
+    called with the simulator after each interval of simulated time
+    passes during :meth:`run_until`. With no hook installed the loop
+    pays one comparison per event.
     """
 
     def __init__(self, clock: SimClock | None = None) -> None:
         self.clock = clock or SimClock()
         self.queue = EventQueue()
         self.events_executed = 0
+        self.heartbeat: Callable[["Simulator"], Any] | None = None
+        self.heartbeat_interval: float = 0.0
 
     @property
     def now(self) -> float:
@@ -131,16 +150,32 @@ class Simulator:
             raise SimulationError(
                 f"horizon t={horizon} is before now={self.clock.now}"
             )
-        executed = 0
-        while True:
-            next_time = self.queue.peek_time()
-            if next_time is None or next_time > horizon:
-                break
-            event = self.queue.pop()
-            assert event is not None
-            self.clock.advance_to(event.time)
-            event.action()
-            executed += 1
-        self.clock.advance_to(horizon)
-        self.events_executed += executed
-        return executed
+        beat = self.heartbeat
+        next_beat = (self.clock.now + self.heartbeat_interval
+                     if beat is not None and self.heartbeat_interval > 0
+                     else None)
+        queue = self.queue
+        clock = self.clock
+        executed = 0  # since the last flush into events_executed
+        before = self.events_executed
+        with obs.span("sim.run_until", horizon=horizon) as sp:
+            while True:
+                next_time = queue.peek_time()
+                if next_time is None or next_time > horizon:
+                    break
+                event = queue.pop()
+                assert event is not None
+                clock.advance_to(event.time)
+                event.action()
+                executed += 1
+                if next_beat is not None and event.time >= next_beat:
+                    # flush so the hook sees an up-to-date total
+                    self.events_executed += executed
+                    executed = 0
+                    beat(self)
+                    next_beat = clock.now + self.heartbeat_interval
+            clock.advance_to(horizon)
+            self.events_executed += executed
+            ran = self.events_executed - before
+            sp.set(executed=ran)
+        return ran

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
+from repro import obs
 from repro.net.prefix import Prefix
 from repro.telescope.packet import Packet
 
@@ -49,6 +50,10 @@ class PacketCapture:
     _sorted: bool = field(default=True)
     _table: object = field(default=None, repr=False)
     dropped: int = 0
+    # bound metrics, cached per recorder so the per-packet cost while
+    # recording is one identity check + one counter increment
+    _obs_counter: object = field(default=None, repr=False, compare=False)
+    _obs_owner: object = field(default=None, repr=False, compare=False)
 
     def record(self, packet: Packet) -> bool:
         """Store ``packet`` unless the filter rejects it.
@@ -58,11 +63,21 @@ class PacketCapture:
         if self.capture_filter is not None \
                 and not self.capture_filter.accepts(packet):
             self.dropped += 1
+            obs.add("telescope.packets_dropped_total",
+                    telescope=self.name or "unnamed")
             return False
         if self._packets and packet.time < self._packets[-1].time:
             self._sorted = False
         self._packets.append(packet)
         self._table = None
+        recorder = obs.current()
+        if recorder is not None:
+            if self._obs_owner is not recorder:
+                self._obs_counter = recorder.metrics.counter(
+                    "telescope.packets_total",
+                    telescope=self.name or "unnamed")
+                self._obs_owner = recorder
+            self._obs_counter.inc()
         return True
 
     def extend(self, packets: Iterable[Packet]) -> int:

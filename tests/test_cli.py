@@ -20,6 +20,27 @@ class TestParser:
         assert args.seed == 7
         assert args.scale == 0.05
 
+    def test_obs_flags_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.trace is None
+        assert args.metrics is None
+        assert args.log_level == "info"
+        assert args.verbose is False
+
+    def test_obs_flags_parse(self):
+        args = build_parser().parse_args(
+            ["tables", "--trace", "t.json", "--metrics", "m.json",
+             "--log-level", "debug", "-v"])
+        assert args.trace == "t.json"
+        assert args.metrics == "m.json"
+        assert args.log_level == "debug"
+        assert args.verbose is True
+
+    def test_load_accepts_obs_flags(self):
+        args = build_parser().parse_args(
+            ["load", "somewhere", "--log-level", "warning"])
+        assert args.log_level == "warning"
+
 
 class TestCommands:
     def test_schedule_output(self, capsys):
@@ -40,6 +61,42 @@ class TestCommands:
         out = capsys.readouterr().out
         for telescope in ("T1", "T2", "T3", "T4"):
             assert telescope in out
+        assert "stages" in out
+        assert "simulate" in out
+
+    def test_run_with_trace_and_metrics(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        assert main(["run", "--scale", "0.02", "--seed", "3",
+                     "--trace", str(trace_path),
+                     "--metrics", str(metrics_path), "-v"]) == 0
+        capsys.readouterr()
+        trace = json.loads(trace_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "driver.run_experiment" in names
+        assert "sim.run_until" in names
+        assert "analysis.summary" in names
+        # nested: every driver stage span sits inside the campaign span
+        by_name = {e["name"]: e for e in trace["traceEvents"]}
+        root = by_name["driver.run_experiment"]
+        stage = by_name["driver.simulate"]
+        assert root["ts"] <= stage["ts"]
+        assert stage["ts"] + stage["dur"] \
+            <= root["ts"] + root["dur"] + 1e-3
+        metrics = json.loads(metrics_path.read_text())
+        for telescope in ("T1", "T2", "T3", "T4"):
+            key = f"telescope.packets_total{{telescope={telescope}}}"
+            assert metrics["counters"][key] > 0
+        assert metrics["counters"]["sim.events_executed_total"] > 0
+
+    def test_run_without_flags_leaves_recorder_uninstalled(self, capsys):
+        from repro import obs
+
+        assert main(["run", "--scale", "0.02", "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert obs.current() is None
 
     def test_figures_single(self, capsys):
         assert main(["figures", "--scale", "0.02", "--seed", "3",

@@ -2,8 +2,10 @@
 
 import pytest
 
+from repro import obs
 from repro.errors import AnalysisError
 from repro.experiment import ExperimentConfig, run_experiment
+from repro.experiment.driver import STAGES
 from repro.experiment.phases import Phase
 from repro.scanners.base import SourceModel
 
@@ -57,6 +59,36 @@ class TestRunExperiment:
             record = tiny_corpus.registry.lookup_source(p.src)
             assert record is not None
             assert record.asn == p.src_asn
+
+
+class TestStageTiming:
+    def test_stage_seconds_always_populated(self, tiny_result):
+        assert tuple(tiny_result.stage_seconds) == STAGES
+        assert all(v >= 0.0 for v in tiny_result.stage_seconds.values())
+        # stages run inside the total; simulation dominates any campaign
+        assert sum(tiny_result.stage_seconds.values()) \
+            <= tiny_result.wall_seconds + 0.05
+        assert tiny_result.stage_seconds["simulate"] > 0.0
+
+    def test_recorder_collects_driver_spans_and_metrics(self):
+        with obs.FlightRecorder() as recorder:
+            result = run_experiment(ExperimentConfig.tiny(seed=5))
+        roots = recorder.tracer.roots()
+        assert [r.name for r in roots] == ["driver.run_experiment"]
+        child_names = [c.name for c in roots[0].children]
+        assert child_names == [f"driver.{s}" for s in STAGES]
+        # sim.run_until nests under driver.simulate
+        simulate = roots[0].children[STAGES.index("simulate")]
+        assert "sim.run_until" in [c.name for c in simulate.children]
+        snap = recorder.metrics.snapshot()
+        for telescope in ("T1", "T2"):
+            key = f"telescope.packets_total{{telescope={telescope}}}"
+            assert snap["counters"][key] \
+                == len(result.corpus.packets(telescope))
+        assert snap["counters"]["sim.events_executed_total"] > 0
+        assert snap["counters"]["bgp.announcements_total"] > 0
+        # heartbeat disabled by default: hook removed after the run
+        assert result.deployment.simulator.heartbeat is None
 
 
 class TestCorpus:

@@ -1,0 +1,156 @@
+"""Tests for repro.obs.recorder: installation, helpers, heartbeat."""
+
+import json
+import logging
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import NULL_SPAN
+from repro.sim.events import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    """No test leaks an installed recorder into its neighbours.
+
+    Also re-enables propagation on the ``repro`` logger (a CLI test may
+    have configured it with ``propagate=False``) so caplog sees records.
+    """
+    obs.uninstall()
+    logger = logging.getLogger("repro")
+    previous = logger.propagate
+    logger.propagate = True
+    yield
+    logger.propagate = previous
+    obs.uninstall()
+
+
+class TestInstallation:
+    def test_disabled_by_default(self):
+        assert obs.current() is None
+
+    def test_context_manager_installs_and_restores(self):
+        recorder = obs.FlightRecorder()
+        with recorder:
+            assert obs.current() is recorder
+        assert obs.current() is None
+
+    def test_nested_recorders_restore_previous(self):
+        outer, inner = obs.FlightRecorder(), obs.FlightRecorder()
+        with outer:
+            with inner:
+                assert obs.current() is inner
+            assert obs.current() is outer
+        assert obs.current() is None
+
+
+class TestHelpers:
+    def test_span_is_null_when_disabled(self):
+        assert obs.span("x", a=1) is NULL_SPAN
+
+    def test_add_observe_gauge_are_noops_when_disabled(self):
+        obs.add("c")
+        obs.set_gauge("g", 1.0)
+        obs.observe("h", 0.5)  # nothing raised, nothing recorded
+
+    def test_helpers_route_to_active_recorder(self):
+        with obs.FlightRecorder() as recorder:
+            with obs.span("outer", k="v"):
+                obs.add("hits", 2, kind="test")
+            obs.set_gauge("depth", 7)
+            obs.observe("lat", 0.25)
+        assert [r.name for r in recorder.tracer.roots()] == ["outer"]
+        snap = recorder.metrics.snapshot()
+        assert snap["counters"]["hits{kind=test}"] == 2
+        assert snap["gauges"]["depth"] == 7
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_traced_decorator_noop_when_disabled(self):
+        calls = []
+
+        @obs.traced("deco.fn")
+        def fn():
+            calls.append(obs.current())
+            return 5
+
+        assert fn() == 5
+        assert calls == [None]
+        with obs.FlightRecorder() as recorder:
+            fn()
+        assert len(recorder.tracer.find("deco.fn")) == 1
+
+
+class TestHeartbeat:
+    def _busy_sim(self, horizon=100.0, every=1.0):
+        sim = Simulator()
+        t = every
+        while t < horizon:
+            sim.schedule_at(t, lambda: None)
+            t += every
+        return sim
+
+    def test_heartbeat_logs_and_gauges(self, caplog):
+        sim = self._busy_sim()
+        recorder = obs.FlightRecorder(heartbeat_interval=10.0)
+        recorder.attach(sim, horizon=100.0)
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            sim.run_until(100.0)
+        beats = [r for r in caplog.records if "heartbeat" in r.message]
+        assert len(beats) >= 8
+        text = beats[-1].getMessage()
+        assert "% of horizon" in text
+        assert "ev/s" in text
+        assert "queue depth" in text
+        assert "ETA" in text
+        snap = recorder.metrics.snapshot()
+        assert 0.0 < snap["gauges"]["sim.progress"] <= 1.0
+        assert snap["gauges"]["sim.queue_high_water"] > 0
+
+    def test_no_heartbeat_without_interval(self, caplog):
+        sim = self._busy_sim()
+        recorder = obs.FlightRecorder()  # heartbeat disabled
+        recorder.attach(sim, horizon=100.0)
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            sim.run_until(100.0)
+        assert sim.heartbeat is None
+        assert not [r for r in caplog.records if "heartbeat" in r.message]
+
+    def test_detach_collects_event_accounting(self):
+        sim = self._busy_sim(horizon=10.0)
+        cancelled = sim.schedule_at(5.5, lambda: None)
+        cancelled.cancel()
+        recorder = obs.FlightRecorder(heartbeat_interval=2.0)
+        recorder.attach(sim, horizon=10.0)
+        sim.run_until(10.0)
+        recorder.detach(sim)
+        assert sim.heartbeat is None
+        snap = recorder.metrics.snapshot()
+        assert snap["counters"]["sim.events_executed_total"] \
+            == sim.events_executed
+        assert snap["counters"]["sim.events_cancelled_total"] == 1
+        assert snap["gauges"]["sim.queue_depth"] == 0
+
+
+class TestExports:
+    def test_write_trace_and_metrics(self, tmp_path):
+        with obs.FlightRecorder() as recorder:
+            with obs.span("unit.work", item=3):
+                obs.add("unit.count")
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        recorder.write_trace(str(trace_path))
+        recorder.write_metrics(str(metrics_path))
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"][0]["name"] == "unit.work"
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["unit.count"] == 1
+
+    def test_render_combines_tree_and_metrics(self):
+        with obs.FlightRecorder() as recorder:
+            with obs.span("stage.a"):
+                pass
+            obs.add("things_total", 3)
+        text = recorder.render()
+        assert "stage.a" in text
+        assert "things_total = 3" in text
