@@ -4,13 +4,17 @@
 Runs the bench corpus at a fixed scale and times the stages that gate
 production throughput:
 
-- ``corpus_build`` — full campaign simulation + corpus packaging, with
-  per-stage span timings (``stages``) from the driver's flight recorder;
+- ``corpus_build`` — full campaign simulation + corpus packaging on the
+  batched emission kernel (the default path), with per-stage span
+  timings (``stages``) from the driver's flight recorder;
+- ``corpus_build_legacy`` — the same campaign on the per-packet
+  emission oracle (``batch_emit=False``), for the emission speedup;
 - ``cold_analysis_columnar`` — sessionize all telescopes at /128 and
   /64 over the full phase on the columnar engine (the default path);
 - ``cold_analysis_legacy`` — the same work on the per-packet object
   path (kept as the correctness oracle);
-- ``tables`` — per-table generation (Tables 2-8) on a warm analysis.
+- ``tables`` — per-table generation (Tables 2-8) on a warm analysis,
+  fanned out over ``--jobs`` worker threads (default serial).
 
 The cold-analysis timings run with *no* recorder installed, so they
 measure the disabled-instrumentation path a production analysis sees.
@@ -36,6 +40,7 @@ from pathlib import Path
 from repro import obs
 from repro.analysis import tables as T
 from repro.analysis.context import CorpusAnalysis
+from repro.analysis.parallel import fan_out
 from repro.core.aggregation import AggregationLevel
 from repro.experiment import ExperimentConfig, Phase, run_experiment
 
@@ -85,7 +90,17 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=42,
                         help="campaign seed (default 42)")
     parser.add_argument("--skip-legacy", action="store_true",
-                        help="skip the slow object-path oracle timing")
+                        help="skip the slow object/per-packet oracle "
+                             "timings (analysis and emission)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker threads for the table fan-out "
+                             "(default 1: serial, per-table timings "
+                             "stay contention-free)")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).parent
+                        / "BENCH_2026-08-06.json",
+                        help="prior report to compute corpus_build "
+                             "speedup against")
     parser.add_argument("--emit-metrics", action="store_true",
                         help="embed the flight recorder's metrics snapshot "
                              "in the report (obs smoke target)")
@@ -94,18 +109,31 @@ def main() -> None:
                              ".json)")
     args = parser.parse_args()
 
-    config = ExperimentConfig(seed=args.seed, scale=args.scale)
     print(f"simulating campaign (seed={args.seed} scale={args.scale}) ...")
     # record the build so the report gets stage-resolved timings; the
     # recorder is uninstalled again before any analysis timing below,
     # which must measure the disabled-instrumentation path
     with obs.FlightRecorder() as recorder:
-        build_seconds, result = time_call(lambda: run_experiment(config))
+        build_seconds, result = time_call(
+            lambda: run_experiment(
+                ExperimentConfig(seed=args.seed, scale=args.scale,
+                                 batch_emit=True)))
     corpus = result.corpus
     total_packets = corpus.total_packets()
-    print(f"  corpus: {total_packets} packets in {build_seconds:.2f}s")
+    print(f"  corpus: {total_packets} packets in {build_seconds:.2f}s "
+          "(batched emission)")
     for stage, seconds in result.stage_seconds.items():
         print(f"    {stage}: {seconds:.2f}s")
+
+    legacy_build_seconds = None
+    if not args.skip_legacy:
+        legacy_build_seconds, legacy_result = time_call(
+            lambda: run_experiment(
+                ExperimentConfig(seed=args.seed, scale=args.scale,
+                                 batch_emit=False)))
+        print(f"  corpus: {legacy_result.corpus.total_packets()} packets "
+              f"in {legacy_build_seconds:.2f}s (per-packet oracle)")
+        del legacy_result
 
     columnar_seconds, columnar_sessions = cold_analysis(corpus, True)
     print(f"  cold analysis (columnar): first {columnar_seconds['first']:.3f}s"
@@ -124,21 +152,40 @@ def main() -> None:
                              f"{columnar_sessions}")
 
     analysis = CorpusAnalysis(corpus)
-    table_seconds = {}
-    for name, generate in TABLES.items():
-        table_seconds[name], _ = time_call(lambda g=generate: g(analysis))
-        print(f"  {name}: {table_seconds[name]:.3f}s")
+    if args.jobs > 1:
+        # pre-warm the shared sessionization so the fan-out measures the
+        # generators, not a race to fill the analysis caches
+        analysis.all_sessions()
+    table_runs = fan_out(
+        {name: (lambda g=generate: g(analysis))
+         for name, generate in TABLES.items()},
+        jobs=args.jobs)
+    table_seconds = {name: seconds
+                     for name, (seconds, _) in table_runs.items()}
+    for name, seconds in table_seconds.items():
+        print(f"  {name}: {seconds:.3f}s")
+
+    baseline_build = None
+    if args.baseline and args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        # only comparable when the campaign knobs match
+        if baseline.get("config", {}).get("seed") == args.seed \
+                and baseline.get("config", {}).get("scale") == args.scale:
+            baseline_build = baseline.get("seconds", {}).get("corpus_build")
 
     report = {
         "date": datetime.date.today().isoformat(),
         "platform": platform.platform(),
         "python": platform.python_version(),
-        "config": {"seed": args.seed, "scale": args.scale},
+        "config": {"seed": args.seed, "scale": args.scale,
+                   "jobs": args.jobs},
         "corpus": {"total_packets": total_packets,
                    "per_telescope": {t: len(corpus.table(t))
                                      for t in corpus.telescopes()}},
         "seconds": {
             "corpus_build": round(build_seconds, 4),
+            "corpus_build_legacy": round(legacy_build_seconds, 4)
+                if legacy_build_seconds is not None else None,
             "stages": {k: round(v, 4)
                        for k, v in result.stage_seconds.items()},
             "cold_analysis_columnar":
@@ -155,17 +202,40 @@ def main() -> None:
             "best": round(legacy_seconds["best"]
                           / columnar_seconds["best"], 2),
         } if legacy_seconds else None,
+        "speedup_corpus_build": {
+            "vs_legacy_emit": round(legacy_build_seconds / build_seconds, 2)
+                if legacy_build_seconds is not None else None,
+            "vs_baseline": round(baseline_build / build_seconds, 2)
+                if baseline_build else None,
+            "baseline": args.baseline.name if baseline_build else None,
+        },
     }
     if args.emit_metrics:
         report["metrics"] = recorder.metrics.snapshot()
-    out = args.out or (Path(__file__).parent
-                       / f"BENCH_{report['date']}.json")
+    out = args.out or _default_out(Path(__file__).parent, report["date"])
     out.write_text(json.dumps(report, indent=1) + "\n")
     if report["speedup_cold_analysis"]:
         speedup = report["speedup_cold_analysis"]
         print(f"  speedup (cold analysis): first {speedup['first']}x / "
               f"best {speedup['best']}x")
+    build_speedup = report["speedup_corpus_build"]
+    if build_speedup["vs_legacy_emit"]:
+        print(f"  speedup (corpus build): {build_speedup['vs_legacy_emit']}x"
+              " vs per-packet emission")
+    if build_speedup["vs_baseline"]:
+        print(f"  speedup (corpus build): {build_speedup['vs_baseline']}x "
+              f"vs {args.baseline.name}")
     print(f"wrote {out}")
+
+
+def _default_out(directory: Path, date: str) -> Path:
+    """``BENCH_<date>.json``, suffixed to never clobber a prior report."""
+    candidate = directory / f"BENCH_{date}.json"
+    counter = 1
+    while candidate.exists():
+        candidate = directory / f"BENCH_{date}.{counter}.json"
+        counter += 1
+    return candidate
 
 
 if __name__ == "__main__":

@@ -10,6 +10,8 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.analysis.context import CorpusAnalysis
 from repro.obs import traced
 from repro.analysis.report import Table, format_count, format_share
@@ -21,7 +23,7 @@ from repro.core.protocols import (TRACEROUTE_BUCKET, protocol_stats,
                                   top_ports)
 from repro.core.temporal import TemporalClass
 from repro.experiment.phases import Phase
-from repro.net.addrtypes import AddressType, classify_address
+from repro.net.addrtypes import AddressType, TYPE_ORDER, classify_iids
 from repro.scanners.registry import NetworkType
 from repro.telescope.packet import Protocol
 
@@ -93,21 +95,35 @@ class Table3Result:
 @traced("analysis.table3")
 def table3(analysis: CorpusAnalysis, phase: Phase = Phase.FULL) \
         -> Table3Result:
-    """Table 3: addr6 target-type distribution (packets and sources)."""
-    packet_counts: Counter = Counter()
-    source_types: dict[int, set[AddressType]] = {}
-    total_packets = 0
-    for telescope in TELESCOPES:
-        for p in analysis.corpus.phase_packets(telescope, phase):
-            addr_type = classify_address(p.dst)
-            packet_counts[addr_type] += 1
-            source_types.setdefault(p.src, set()).add(addr_type)
-            total_packets += 1
-    total_sources = len(source_types)
-    source_counts: Counter = Counter()
-    for types in source_types.values():
-        for addr_type in types:
-            source_counts[addr_type] += 1
+    """Table 3: addr6 target-type distribution (packets and sources).
+
+    Runs columnar: targets classify once per *unique* IID through the
+    vectorized classifier, and per-source type sets reduce to one
+    ``np.unique`` over (src_hi, src_lo, type) triples.
+    """
+    parts = [analysis.corpus.phase_table(t, phase) for t in TELESCOPES]
+    dst_lo = np.concatenate([t.dst_lo for t in parts])
+    src_hi = np.concatenate([t.src_hi for t in parts])
+    src_lo = np.concatenate([t.src_lo for t in parts])
+    total_packets = len(dst_lo)
+
+    uniq, inverse = np.unique(dst_lo, return_inverse=True)
+    codes = classify_iids(uniq)[inverse]
+    per_code = np.bincount(codes, minlength=len(TYPE_ORDER))
+    packet_counts: Counter = Counter({
+        TYPE_ORDER[i]: int(c) for i, c in enumerate(per_code) if c})
+
+    triples = np.empty(total_packets, dtype=[
+        ("hi", np.uint64), ("lo", np.uint64), ("code", np.uint8)])
+    triples["hi"] = src_hi
+    triples["lo"] = src_lo
+    triples["code"] = codes
+    distinct = np.unique(triples)
+    total_sources = len(np.unique(distinct[["hi", "lo"]]))
+    per_source_code = np.bincount(distinct["code"],
+                                  minlength=len(TYPE_ORDER))
+    source_counts: Counter = Counter({
+        TYPE_ORDER[i]: int(c) for i, c in enumerate(per_source_code) if c})
     table = Table(
         title="Table 3: distribution of target address types",
         columns=["Address Type", "Packets", "Pkt%", "Sources", "Src%"])

@@ -68,18 +68,26 @@ class AdjRibIn:
 
 
 class LocRib:
-    """Selected best routes, with longest-prefix data-plane lookup."""
+    """Selected best routes, with longest-prefix data-plane lookup.
+
+    Exact-prefix operations (the control-plane hot path: ``best`` after
+    every received update) go through a plain dict; the trie only serves
+    the data-plane longest-prefix match.
+    """
 
     def __init__(self) -> None:
         self._trie: PrefixTrie[Route] = PrefixTrie()
+        self._exact: dict[Prefix, Route] = {}
 
     def __len__(self) -> int:
-        return len(self._trie)
+        return len(self._exact)
 
     def install(self, route: Route) -> None:
         self._trie.insert(route.prefix, route)
+        self._exact[route.prefix] = route
 
     def uninstall(self, prefix: Prefix) -> Route | None:
+        self._exact.pop(prefix, None)
         try:
             return self._trie.remove(prefix)
         except KeyError:
@@ -87,7 +95,7 @@ class LocRib:
 
     def best(self, prefix: Prefix) -> Route | None:
         """Exact-match best route for ``prefix``."""
-        return self._trie.get(prefix)
+        return self._exact.get(prefix)
 
     def resolve(self, addr: int) -> Route | None:
         """Longest-prefix-match data-plane lookup for an address."""

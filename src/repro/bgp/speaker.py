@@ -51,15 +51,23 @@ class BGPSpeaker:
         #: when True, routes from peers lacking an IRR route6 object are
         #: rejected on import (the upstream-validation behavior of §3.2).
         self.validate_irr = False
+        #: caches over the (static-after-wiring) neighbor set; rebuilt
+        #: lazily and invalidated by :meth:`add_neighbor`.
+        self._neighbors: list[int] | None = None
+        self._customers: list[int] | None = None
 
     # -- wiring ------------------------------------------------------------
 
     def add_neighbor(self, asn: int) -> None:
         self.adj_rib_in.setdefault(asn, AdjRibIn())
+        self._neighbors = None
+        self._customers = None
 
     @property
     def neighbors(self) -> list[int]:
-        return sorted(self.adj_rib_in)
+        if self._neighbors is None:
+            self._neighbors = sorted(self.adj_rib_in)
+        return self._neighbors
 
     # -- origination --------------------------------------------------------
 
@@ -157,8 +165,11 @@ class BGPSpeaker:
         rel = topo.relationship(self.asn, route.neighbor)
         if rel is ASRelationship.CUSTOMER:
             return [n for n in self.neighbors if n != route.neighbor]
-        return [n for n in self.neighbors
+        if self._customers is None:
+            self._customers = [
+                n for n in self.neighbors
                 if topo.relationship(self.asn, n) is ASRelationship.CUSTOMER]
+        return self._customers
 
     def _export(self, route: Route) -> None:
         if route.neighbor == 0:

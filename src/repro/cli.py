@@ -16,6 +16,7 @@ import sys
 from repro import obs
 from repro.analysis.context import CorpusAnalysis
 from repro.analysis import figures as figure_module
+from repro.analysis.parallel import fan_out
 from repro.analysis.tables import (table2, table3, table4, table5, table6,
                                    table7, table8)
 from repro.bgp.controller import build_split_schedule
@@ -76,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--scale", type=float, default=0.1,
                          help="population scale (default 0.1)")
         _add_obs_flags(cmd)
+        if name in ("tables", "figures"):
+            cmd.add_argument("--jobs", type=int, default=1,
+                             help="generate artifacts with this many "
+                                  "worker threads (default 1)")
         if name == "figures":
             cmd.add_argument("--only", choices=FIGURES, default=None,
                              help="print a single figure")
@@ -129,23 +134,32 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_tables(analysis: CorpusAnalysis) -> None:
-    for generator in (table2, table3, table4):
-        print(generator(analysis).table.render())
-        print()
-    result5 = table5(analysis)
-    print(result5.table_a.render())
-    print()
-    print(result5.table_b.render())
-    print()
-    for generator in (table6, table7, table8):
-        print(generator(analysis).table.render())
+def _print_tables(analysis: CorpusAnalysis, jobs: int = 1) -> None:
+    generators = {"table2": table2, "table3": table3, "table4": table4,
+                  "table5": table5, "table6": table6, "table7": table7,
+                  "table8": table8}
+    if jobs > 1:
+        # warm the shared sessionization once so parallel generators hit
+        # the cache instead of racing to compute it
+        analysis.all_sessions()
+    results = fan_out(
+        {name: (lambda g=g: g(analysis)) for name, g in generators.items()},
+        jobs=jobs)
+    for name in generators:
+        result = results[name][1]
+        if name == "table5":
+            print(result.table_a.render())
+            print()
+            print(result.table_b.render())
+        else:
+            print(result.table.render())
         print()
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
     result = _simulate(args)
-    _print_tables(CorpusAnalysis(result.corpus))
+    _print_tables(CorpusAnalysis(result.corpus),
+                  jobs=getattr(args, "jobs", 1))
     return 0
 
 
@@ -200,9 +214,15 @@ def cmd_figures(args: argparse.Namespace) -> int:
     result = _simulate(args)
     analysis = CorpusAnalysis(result.corpus)
     names = (args.only,) if args.only else FIGURES
+    jobs = getattr(args, "jobs", 1)
+    if jobs > 1:
+        analysis.all_sessions()
+    results = fan_out(
+        {name: (lambda f=getattr(figure_module, name): f(analysis))
+         for name in names},
+        jobs=jobs)
     for name in names:
-        figure = getattr(figure_module, name)
-        print(figure(analysis).render())
+        print(results[name][1].render())
         print()
     return 0
 

@@ -20,7 +20,7 @@ import numpy as np
 from repro.core.nist import ALPHA, bits_from_addresses, frequency_test
 from repro.core.sessions import Session
 from repro.errors import ClassificationError
-from repro.net.addrtypes import AddressType, classify_address
+from repro.net.addrtypes import AddressType, TYPE_ORDER, classify_iids
 
 #: Paper filter: statistical testing needs sessions of >= 100 packets.
 MIN_PACKETS_FOR_NIST = 100
@@ -43,11 +43,24 @@ class AddressClass(enum.Enum):
     UNKNOWN = "unknown"
 
 
+_MASK64 = (1 << 64) - 1
+
+
 def type_histogram(targets: list[int]) -> Counter:
-    """addr6-type histogram of a target list."""
+    """addr6-type histogram of a target list.
+
+    Classification only depends on the 64-bit IID, so each *unique* IID
+    is classified once (vectorized) and multiplied by its occurrence
+    count — sessions re-probing the same targets pay nothing extra.
+    """
     histogram: Counter = Counter()
-    for target in targets:
-        histogram[classify_address(target)] += 1
+    if not targets:
+        return histogram
+    iids = np.fromiter((t & _MASK64 for t in targets),
+                       dtype=np.uint64, count=len(targets))
+    uniq, counts = np.unique(iids, return_counts=True)
+    for code, count in zip(classify_iids(uniq).tolist(), counts.tolist()):
+        histogram[TYPE_ORDER[code]] += count
     return histogram
 
 

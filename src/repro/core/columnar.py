@@ -319,6 +319,135 @@ class PacketTable:
                    payload_id=payload_id, payloads=payloads)
 
 
+#: Column names of one packet batch, in canonical order.
+BATCH_COLUMNS = ("time", "src_hi", "src_lo", "dst_hi", "dst_lo",
+                 "protocol", "dst_port", "src_asn", "scanner_id")
+
+_BATCH_DTYPES = (np.float64, np.uint64, np.uint64, np.uint64, np.uint64,
+                 np.uint8, np.uint16, np.uint32, np.int64)
+
+
+class PacketTableBuilder:
+    """Append-only columnar accumulator behind the batch emission path.
+
+    Batches land in capacity-doubling buffers, so appending a session's
+    packet train costs a handful of vectorized copies and no Python
+    ``Packet`` objects. Payload bytes are interned on arrival; a batch
+    passes its payloads as a local side list plus per-row local ids and
+    the builder remaps them into the shared pool.
+
+    :meth:`snapshot` exposes the current contents as a
+    :class:`PacketTable` of zero-copy views; later appends grow into
+    fresh buffers and never mutate rows a snapshot already exposed.
+    """
+
+    __slots__ = ("_columns", "_payload_id", "_n", "_capacity",
+                 "payloads", "_interned")
+
+    def __init__(self) -> None:
+        self._columns: list[np.ndarray] | None = None
+        self._payload_id: np.ndarray | None = None
+        self._n = 0
+        self._capacity = 0
+        self.payloads: list[bytes] = []
+        self._interned: dict[bytes, int] = {}
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _grow(self, needed: int) -> None:
+        capacity = max(1024, self._capacity * 2, self._n + needed)
+        grown = [np.empty(capacity, dtype=dtype) for dtype in _BATCH_DTYPES]
+        payload_id = np.full(capacity, NO_PAYLOAD, dtype=np.int64)
+        if self._columns is not None:
+            for old, new in zip(self._columns, grown):
+                new[:self._n] = old[:self._n]
+            payload_id[:self._n] = self._payload_id[:self._n]
+        self._columns = grown
+        self._payload_id = payload_id
+        self._capacity = capacity
+
+    def append(self, time, src_hi, src_lo, dst_hi, dst_lo, protocol,
+               dst_port, src_asn, scanner_id,
+               payload_id: np.ndarray | None = None,
+               payloads: list[bytes] | None = None) -> int:
+        """Append one batch of equal-length columns; returns its size."""
+        n = len(time)
+        if n == 0:
+            return 0
+        if self._n + n > self._capacity:
+            self._grow(n)
+        lo, hi = self._n, self._n + n
+        for column, batch in zip(self._columns,
+                                 (time, src_hi, src_lo, dst_hi, dst_lo,
+                                  protocol, dst_port, src_asn, scanner_id)):
+            column[lo:hi] = batch
+        if payload_id is None or payloads is None:
+            self._payload_id[lo:hi] = NO_PAYLOAD
+        else:
+            remap = np.empty(len(payloads) + 1, dtype=np.int64)
+            remap[0] = NO_PAYLOAD
+            for local, payload in enumerate(payloads):
+                shared = self._interned.get(payload)
+                if shared is None:
+                    shared = len(self.payloads)
+                    self._interned[payload] = shared
+                    self.payloads.append(payload)
+                remap[local + 1] = shared
+            # local ids are 0..len-1 or NO_PAYLOAD (-1); shift by one so a
+            # single fancy-index resolves both cases
+            self._payload_id[lo:hi] = remap[payload_id + 1]
+        self._n = hi
+        return n
+
+    def snapshot(self) -> PacketTable:
+        """Zero-copy :class:`PacketTable` view of the rows appended so far."""
+        if self._columns is None:
+            return PacketTable.empty()
+        n = self._n
+        cols = [column[:n] for column in self._columns]
+        return PacketTable(
+            time=cols[0], src_hi=cols[1], src_lo=cols[2], dst_hi=cols[3],
+            dst_lo=cols[4], protocol=cols[5], dst_port=cols[6],
+            src_asn=cols[7], scanner_id=cols[8],
+            payload_id=self._payload_id[:n], payloads=self.payloads)
+
+
+def concat_tables(tables: Sequence[PacketTable]) -> PacketTable:
+    """Concatenate tables row-wise, re-interning payloads into one pool."""
+    tables = [t for t in tables if len(t)]
+    if not tables:
+        return PacketTable.empty()
+    if len(tables) == 1:
+        return tables[0]
+    payloads: list[bytes] = []
+    interned: dict[bytes, int] = {}
+    payload_ids = []
+    for table in tables:
+        remap = np.empty(len(table.payloads) + 1, dtype=np.int64)
+        remap[0] = NO_PAYLOAD
+        for local, payload in enumerate(table.payloads):
+            shared = interned.get(payload)
+            if shared is None:
+                shared = len(payloads)
+                interned[payload] = shared
+                payloads.append(payload)
+            remap[local + 1] = shared
+        payload_ids.append(remap[table.payload_id + 1])
+    return PacketTable(
+        time=np.concatenate([t.time for t in tables]),
+        src_hi=np.concatenate([t.src_hi for t in tables]),
+        src_lo=np.concatenate([t.src_lo for t in tables]),
+        dst_hi=np.concatenate([t.dst_hi for t in tables]),
+        dst_lo=np.concatenate([t.dst_lo for t in tables]),
+        protocol=np.concatenate([t.protocol for t in tables]),
+        dst_port=np.concatenate([t.dst_port for t in tables]),
+        src_asn=np.concatenate([t.src_asn for t in tables]),
+        scanner_id=np.concatenate([t.scanner_id for t in tables]),
+        payload_id=np.concatenate(payload_ids),
+        payloads=payloads)
+
+
 class PacketSlice:
     """Lazy, immutable sequence of table rows behaving like list[Packet].
 

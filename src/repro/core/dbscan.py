@@ -17,6 +17,11 @@ from repro.errors import AnalysisError
 #: Label assigned to noise points.
 NOISE = -1
 
+#: Up to this many points the Euclidean path precomputes the full pairwise
+#: distance matrix (n^2 floats; 2048^2 ~ 32 MiB) so each neighborhood
+#: query is a row slice instead of an O(n) re-scan per expanded point.
+PAIRWISE_LIMIT = 2048
+
 
 def dbscan(points: Sequence, eps: float, min_samples: int,
            metric: Callable[[object, object], float] | None = None) \
@@ -39,10 +44,19 @@ def dbscan(points: Sequence, eps: float, min_samples: int,
         data = np.asarray(points, dtype=float)
         if data.ndim == 1:
             data = data[:, None]
+        if n <= PAIRWISE_LIMIT:
+            # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b, computed once for all
+            # pairs; comparing squared distances avoids the sqrt entirely
+            sq = (data ** 2).sum(axis=1)
+            d2 = sq[:, None] + sq[None, :] - 2.0 * (data @ data.T)
+            adjacency = d2 <= eps * eps + 1e-12
 
-        def neighbors_of(i: int) -> list[int]:
-            dist = np.sqrt(((data - data[i]) ** 2).sum(axis=1))
-            return list(np.nonzero(dist <= eps)[0])
+            def neighbors_of(i: int) -> list[int]:
+                return list(np.nonzero(adjacency[i])[0])
+        else:
+            def neighbors_of(i: int) -> list[int]:
+                dist = ((data - data[i]) ** 2).sum(axis=1)
+                return list(np.nonzero(dist <= eps * eps)[0])
     else:
         def neighbors_of(i: int) -> list[int]:
             return [j for j in range(n)

@@ -35,7 +35,7 @@ class PacketCorpus:
     """
 
     config: ExperimentConfig
-    packets_by_telescope: dict[str, list[Packet]]
+    packets_by_telescope: dict[str, list[Packet]] | None
     schedule: list[AnnouncementCycle]
     registry: ASRegistry
     resolver: Resolver
@@ -49,6 +49,8 @@ class PacketCorpus:
     _phase_table_cache: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if self.packets_by_telescope is None:
+            self.packets_by_telescope = {}
         for name in TELESCOPE_NAMES:
             if name not in self.packets_by_telescope \
                     and name not in self.tables_by_telescope:

@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.experiment.config import ExperimentConfig
 from repro.experiment.corpus import PacketCorpus
-from repro.scanners.base import Scanner, ScannerContext, SourceModel
+from repro.scanners.base import (Scanner, ScannerContext, SourceModel,
+                                 batch_emit_default)
 from repro.scanners.population import (PopulationInputs, build_population)
 from repro.scanners.registry import ASRegistry
 from repro.sim.rng import RngStreams
@@ -63,7 +64,7 @@ class ExperimentResult:
 #: Stage names, in execution order, as they appear in ``stage_seconds``
 #: and as ``driver.<stage>`` tracing spans.
 STAGES = ("build_deployment", "build_population", "schedule_scanners",
-          "simulate", "package_corpus")
+          "simulate", "flush_batches", "package_corpus")
 
 
 def run_experiment(config: ExperimentConfig | None = None,
@@ -107,9 +108,14 @@ def run_experiment(config: ExperimentConfig | None = None,
                                           registry, streams)
         stage_seconds["build_population"] = sp.duration
 
+        batch_emit = config.batch_emit if config.batch_emit is not None \
+            else batch_emit_default()
         context = ScannerContext(
             simulator=deployment.simulator,
             route=deployment.route,
+            route_batch=deployment.route_batch,
+            batch_emit=batch_emit,
+            defer_batch=batch_emit,
             collector=deployment.collector,
             window_start=0.0,
             window_end=config.duration)
@@ -132,12 +138,22 @@ def run_experiment(config: ExperimentConfig | None = None,
                 recorder.detach(deployment.simulator)
         stage_seconds["simulate"] = sp.duration
 
+        if batch_emit:
+            # sessions only *resolved* during the run materialize now, one
+            # cross-session kernel call per scanner
+            with tracer.span("driver.flush_batches") as sp:
+                context.flush_batches()
+            stage_seconds["flush_batches"] = sp.duration
+
         with tracer.span("driver.package_corpus") as sp:
+            # batch runs package columns only — Packet objects materialize
+            # lazily if an analysis asks for them
+            packets_by = None if batch_emit else {
+                name: telescope.capture.packets()
+                for name, telescope in deployment.telescopes.items()}
             corpus = PacketCorpus(
                 config=config,
-                packets_by_telescope={
-                    name: telescope.capture.packets()
-                    for name, telescope in deployment.telescopes.items()},
+                packets_by_telescope=packets_by,
                 tables_by_telescope={
                     name: telescope.capture.table()
                     for name, telescope in deployment.telescopes.items()},

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import enum
 
+import numpy as np
+
 from repro.net.addr import MAX_ADDR, iid_of
 
 
@@ -96,6 +98,93 @@ def classify_address(addr: int) -> AddressType:
     if _is_nibble_pattern(iid):
         return AddressType.PATTERN_BYTES
     return AddressType.RANDOMIZED
+
+
+#: Stable code order for the vectorized classifier: ``TYPE_ORDER[code]``
+#: maps a :func:`classify_iids` result back to its :class:`AddressType`.
+TYPE_ORDER = tuple(AddressType)
+_TYPE_CODE = {t: i for i, t in enumerate(TYPE_ORDER)}
+
+#: 16-bit popcount table for the nibble-diversity check.
+_POPCOUNT16 = np.array([bin(i).count("1") for i in range(1 << 16)],
+                       dtype=np.uint8)
+
+_PORT_VALUES = np.array(sorted(_HEX_SPELLED_PORTS | _BINARY_PORTS),
+                        dtype=np.uint64)
+_HEX_WORD_VALUES = np.array(sorted(_HEX_WORDS), dtype=np.uint64)
+
+
+def _decimal_spelled_mask(iids: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_is_decimal_spelled_ipv4` over uint64 IIDs."""
+    ok = np.ones(len(iids), dtype=bool)
+    first_octet = np.zeros(len(iids), dtype=np.uint64)
+    for position, shift in enumerate((48, 32, 16, 0)):
+        group = (iids >> np.uint64(shift)) & np.uint64(0xFFFF)
+        value = np.zeros(len(iids), dtype=np.uint64)
+        digits_ok = np.ones(len(iids), dtype=bool)
+        for weight, nshift in ((1000, 12), (100, 8), (10, 4), (1, 0)):
+            nibble = (group >> np.uint64(nshift)) & np.uint64(0xF)
+            digits_ok &= nibble <= 9
+            value += nibble * np.uint64(weight)
+        ok &= digits_ok & (value <= 255)
+        if position == 0:
+            first_octet = value
+    return ok & (first_octet >= 10)
+
+
+def classify_iids(iids: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`classify_address` over an array of 64-bit IIDs.
+
+    Returns uint8 codes indexing :data:`TYPE_ORDER`; every predicate of
+    the scalar classifier is evaluated as a column mask and precedence is
+    resolved by ``np.select`` order.
+    """
+    iids = np.ascontiguousarray(iids, dtype=np.uint64)
+    upper32 = (iids >> np.uint64(32)) & np.uint64(0xFFFFFFFF)
+
+    anycast = iids == 0
+    eui64 = ((iids >> np.uint64(24)) & np.uint64(0xFFFF)) == 0xFFFE
+    isatap = (upper32 == 0x00005EFE) | (upper32 == 0x02005EFE)
+    dec_ipv4 = _decimal_spelled_mask(iids)
+
+    small = iids <= np.uint64(0xFFFF)
+    port = small & (iids >= np.uint64(_LOW_BYTE_PORT_CUTOFF)) \
+        & np.isin(iids, _PORT_VALUES)
+    small_word = small & np.isin(iids, _HEX_WORD_VALUES)
+
+    words = [(iids >> np.uint64(shift)) & np.uint64(0xFFFF)
+             for shift in (48, 32, 16, 0)]
+    all_equal = ((words[0] == words[1]) & (words[1] == words[2])
+                 & (words[2] == words[3]))
+    in_hw = [np.isin(w, _HEX_WORD_VALUES) for w in words]
+    zero_or_hw = np.ones(len(iids), dtype=bool)
+    any_hw = np.zeros(len(iids), dtype=bool)
+    for w, hw in zip(words, in_hw):
+        zero_or_hw &= hw | (w == 0)
+        any_hw |= hw
+    word_pattern = all_equal | (zero_or_hw & any_hw)
+
+    bin_ipv4 = (upper32 == 0) \
+        & (((iids >> np.uint64(24)) & np.uint64(0xFF)) >= 1)
+
+    nibble_mask = np.zeros(len(iids), dtype=np.uint16)
+    one = np.uint16(1)
+    for shift in range(0, 64, 4):
+        nibble = ((iids >> np.uint64(shift)) & np.uint64(0xF)) \
+            .astype(np.uint16)
+        nibble_mask |= one << nibble
+    nibble_pattern = _POPCOUNT16[nibble_mask] <= 3
+
+    code = _TYPE_CODE
+    return np.select(
+        [anycast, eui64, isatap, dec_ipv4, port, small_word, small,
+         word_pattern, bin_ipv4, nibble_pattern],
+        [code[AddressType.SUBNET_ANYCAST], code[AddressType.IEEE_DERIVED],
+         code[AddressType.ISATAP], code[AddressType.EMBEDDED_IPV4],
+         code[AddressType.EMBEDDED_PORT], code[AddressType.PATTERN_BYTES],
+         code[AddressType.LOW_BYTE], code[AddressType.PATTERN_BYTES],
+         code[AddressType.EMBEDDED_IPV4], code[AddressType.PATTERN_BYTES]],
+        default=code[AddressType.RANDOMIZED]).astype(np.uint8)
 
 
 def _is_eui64(iid: int) -> bool:

@@ -1,0 +1,143 @@
+"""Vectorized longest-prefix matching over packet columns.
+
+The per-packet data plane resolves each destination through
+:class:`repro.net.trie.PrefixTrie`. The batched emission kernel instead
+matches whole destination *columns* (the two uint64 halves of each
+address) against a small prefix table in O(prefixes) vectorized passes —
+or, when every prefix fits in the high 64 bits (true for the whole
+deployment: nothing is more specific than a /48), in a single
+``searchsorted`` over a precomputed disjoint interval table.
+
+Both matchers resolve ties like a routing table: the most-specific
+covering prefix wins. They are differential-tested against the trie in
+``tests/test_net_lpm.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import PrefixError
+from repro.net.addr import ADDR_BITS
+from repro.net.prefix import Prefix
+
+_MASK64 = (1 << 64) - 1
+
+#: Slot returned for addresses no prefix covers.
+NO_MATCH = -1
+
+
+def split_mask(length: int) -> tuple[int, int]:
+    """(mask_hi, mask_lo) selecting the top ``length`` bits of an address."""
+    if not 0 <= length <= ADDR_BITS:
+        raise PrefixError(f"invalid prefix length {length}")
+    mask = ((1 << length) - 1) << (ADDR_BITS - length) if length else 0
+    return mask >> 64, mask & _MASK64
+
+
+def contains_mask(prefix: Prefix, addr_hi: np.ndarray,
+                  addr_lo: np.ndarray) -> np.ndarray:
+    """Boolean mask of the column rows that fall inside ``prefix``."""
+    mask_hi, mask_lo = split_mask(prefix.length)
+    net = prefix.network
+    hit = (addr_hi & np.uint64(mask_hi)) == np.uint64((net >> 64) & mask_hi)
+    if mask_lo:
+        hit &= (addr_lo & np.uint64(mask_lo)) \
+            == np.uint64(net & mask_lo)
+    return hit
+
+
+class MaskedPrefixMatcher:
+    """General vectorized LPM: one mask/value pass per prefix.
+
+    Prefixes are checked most-specific first, so the first hit per row is
+    the longest match — identical semantics to
+    :meth:`repro.net.trie.PrefixTrie.longest_match`.
+    """
+
+    __slots__ = ("_entries", "default")
+
+    def __init__(self, entries: Sequence[tuple[Prefix, int]],
+                 default: int = NO_MATCH) -> None:
+        ordered = sorted(entries, key=lambda e: e[0].length, reverse=True)
+        self._entries = []
+        for prefix, slot in ordered:
+            mask_hi, mask_lo = split_mask(prefix.length)
+            net = prefix.network
+            self._entries.append((
+                np.uint64(mask_hi), np.uint64((net >> 64) & mask_hi),
+                np.uint64(mask_lo), np.uint64(net & mask_lo), slot))
+        self.default = default
+
+    def lookup(self, addr_hi: np.ndarray, addr_lo: np.ndarray) -> np.ndarray:
+        """Per-row slot of the most-specific covering prefix."""
+        slots = np.full(len(addr_hi), self.default, dtype=np.int16)
+        unresolved = np.ones(len(addr_hi), dtype=bool)
+        for mask_hi, net_hi, mask_lo, net_lo, slot in self._entries:
+            hit = unresolved & ((addr_hi & mask_hi) == net_hi)
+            if mask_lo:
+                hit &= (addr_lo & mask_lo) == net_lo
+            if hit.any():
+                slots[hit] = slot
+                unresolved &= ~hit
+                if not unresolved.any():
+                    break
+        return slots
+
+
+class IntervalRouteTable:
+    """Single-``searchsorted`` LPM for prefix sets no deeper than /64.
+
+    The covered address space is decomposed into disjoint ``dst_hi``
+    intervals, each painted with the slot of its most-specific covering
+    prefix (:data:`NO_MATCH` for gaps). Lookups then cost two vector ops
+    regardless of table size — the shape the per-session hot path needs,
+    where batches are small and per-prefix passes would dominate.
+    """
+
+    __slots__ = ("_starts", "_slots")
+
+    def __init__(self, entries: Sequence[tuple[Prefix, int]],
+                 default: int = NO_MATCH) -> None:
+        for prefix, _ in entries:
+            if prefix.length > 64:
+                raise PrefixError(
+                    f"interval route table needs prefixes of at most /64, "
+                    f"got {prefix}")
+        # elementary intervals: every distinct start/end of any prefix
+        bounds = {0}
+        spans = []
+        for prefix, slot in entries:
+            start = prefix.network >> 64
+            end = start + (1 << (64 - prefix.length))
+            spans.append((start, end, prefix.length, slot))
+            bounds.add(start)
+            if end <= _MASK64:
+                bounds.add(end)
+        starts = sorted(bounds)
+        slots = []
+        for start in starts:
+            best_len, best_slot = -1, default
+            for span_start, span_end, length, slot in spans:
+                if span_start <= start < span_end and length > best_len:
+                    best_len, best_slot = length, slot
+            slots.append(best_slot)
+        self._starts = np.array(starts, dtype=np.uint64)
+        self._slots = np.array(slots, dtype=np.int16)
+
+    def lookup(self, addr_hi: np.ndarray,
+               addr_lo: np.ndarray | None = None) -> np.ndarray:
+        """Per-row slot; ``addr_lo`` is accepted (and ignored) for API
+        symmetry with :class:`MaskedPrefixMatcher`."""
+        index = np.searchsorted(self._starts, addr_hi, side="right") - 1
+        return self._slots[index]
+
+
+def build_matcher(entries: Sequence[tuple[Prefix, int]],
+                  default: int = NO_MATCH):
+    """The fastest matcher the entry set supports."""
+    if all(prefix.length <= 64 for prefix, _ in entries):
+        return IntervalRouteTable(entries, default=default)
+    return MaskedPrefixMatcher(entries, default=default)

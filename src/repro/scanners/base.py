@@ -13,11 +13,13 @@ which routes emitted packets into whichever telescope owns the destination.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro import obs
 from repro.bgp.collector import CollectorEntry, RouteCollector
 from repro.bgp.messages import UpdateKind
 from repro.errors import ExperimentError
@@ -28,6 +30,22 @@ from repro.scanners.tools import ToolSignature
 from repro.sim.clock import HOUR
 from repro.sim.events import Simulator
 from repro.telescope.packet import Packet, Protocol
+
+_MASK64 = (1 << 64) - 1
+#: 64-bit golden-ratio multiplier of the source-IID rotation hash.
+_GOLDEN = 0x9E3779B97F4A7C15
+#: sample one batch-emission span out of this many sessions, so traces
+#: show the kernel without per-session span overhead distorting it.
+_SPAN_SAMPLE = 256
+
+
+def batch_emit_default() -> bool:
+    """Whether sessions use the batched kernel (module env override).
+
+    ``REPRO_LEGACY_EMIT=1`` selects the per-packet oracle path, mirroring
+    the columnar engine's ``REPRO_LEGACY_OBJECTS`` switch.
+    """
+    return os.environ.get("REPRO_LEGACY_EMIT", "0") in ("", "0")
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.scanners.netselect import NetworkPolicy
@@ -114,6 +132,22 @@ class SourceModel(enum.Enum):
     PER_PORT = "per-port"        # fresh IID per destination port (vertical)
 
 
+@dataclass(frozen=True, slots=True)
+class _PendingSession:
+    """One fired-but-not-yet-materialized scan session (batch mode).
+
+    Captures exactly the draws that must happen at firing time — the
+    network selection (announcement-dependent), the session size, and the
+    rotation nonce — so the packet columns can materialize later without
+    changing any time-sensitive behavior.
+    """
+
+    when: float
+    prefixes: tuple
+    counts: tuple
+    nonce: int
+
+
 @dataclass
 class ScannerContext:
     """Interface between scanner agents and the simulated world."""
@@ -125,6 +159,35 @@ class ScannerContext:
     window_end: float = 0.0
     packets_emitted: int = 0
     packets_unrouted: int = 0
+    #: vectorized routing: ``(dst_hi, dst_lo, time) -> (slots, telescopes)``
+    #: with slot ``-1`` meaning unrouted; ``None`` falls back to per-row
+    #: :attr:`route` calls.
+    route_batch: Callable | None = None
+    #: sessions emit through :meth:`inject_batch` when True.
+    batch_emit: bool = field(default_factory=batch_emit_default)
+    #: when True, batch sessions accumulate per scanner and materialize in
+    #: one cross-session kernel call each at :meth:`flush_batches` —
+    #: amortizing the per-batch NumPy overhead over thousands of rows.
+    defer_batch: bool = False
+    _pending: dict = field(default_factory=dict, repr=False)
+
+    def flush_batches(self) -> int:
+        """Materialize every deferred session; returns rows emitted.
+
+        Each scanner's sessions flush in firing order through its own
+        private RNG, so a fixed seed always yields the same corpus. The
+        cross-session draw order differs from flushing after every fire
+        (protocol/gap/payload draws cover the whole stream at once), so
+        deferred and immediate batch runs agree in distribution, not
+        packet-for-packet — same contract as batch vs legacy.
+        """
+        pending, self._pending = self._pending, {}
+        total = 0
+        for scanner, sessions in pending.items():
+            with obs.span("scanner.batch_emit", scanner=scanner.name,
+                          sessions=len(sessions)):
+                total += scanner._flush_sessions(self, sessions)
+        return total
 
     def inject(self, packet: Packet) -> bool:
         """Deliver one packet; returns True if the target responded."""
@@ -135,10 +198,110 @@ class ScannerContext:
             return False
         return telescope.deliver(packet)
 
+    def inject_batch(self, time, src_hi, src_lo, dst_hi, dst_lo, protocol,
+                     dst_port, src_asn, scanner_id,
+                     payload_id: np.ndarray | None = None,
+                     payloads: list[bytes] | None = None) -> int:
+        """Deliver one session's packet train as columns.
 
-@dataclass
+        Routes every row by the table in force at its own timestamp and
+        hands each telescope its slice in one call. Constant columns
+        (``src_hi``, ``src_lo``, ``src_asn``, ``scanner_id``) may come in
+        as scalars and are broadcast here. Returns the number of rows
+        emitted (routed or not), matching :meth:`inject` accounting.
+        """
+        n = len(time)
+        if n == 0:
+            return 0
+        src_hi = _as_column(src_hi, n)
+        src_lo = _as_column(src_lo, n)
+        src_asn = _as_column(src_asn, n)
+        scanner_id = _as_column(scanner_id, n)
+        self.packets_emitted += n
+        if self.route_batch is None:
+            self._inject_rows(time, src_hi, src_lo, dst_hi, dst_lo,
+                              protocol, dst_port, src_asn, scanner_id,
+                              payload_id, payloads)
+            return n
+        slots, telescopes = self.route_batch(dst_hi, dst_lo, time)
+        counts = np.bincount(slots.astype(np.int64) + 1,
+                             minlength=len(telescopes) + 1)
+        self.packets_unrouted += int(counts[0])
+        for slot, telescope in enumerate(telescopes):
+            routed = int(counts[slot + 1])
+            if not routed:
+                continue
+            if routed == n:
+                telescope.deliver_batch(
+                    time, src_hi, src_lo, dst_hi, dst_lo, protocol,
+                    dst_port, src_asn, scanner_id,
+                    payload_id=payload_id, payloads=payloads)
+                break
+            rows = np.flatnonzero(slots == slot)
+            sub_ids, sub_payloads = _subset_payloads(
+                payload_id, payloads, rows)
+            telescope.deliver_batch(
+                time[rows], src_hi[rows], src_lo[rows], dst_hi[rows],
+                dst_lo[rows], protocol[rows], dst_port[rows],
+                src_asn[rows], scanner_id[rows],
+                payload_id=sub_ids, payloads=sub_payloads)
+        return n
+
+    def _inject_rows(self, time, src_hi, src_lo, dst_hi, dst_lo, protocol,
+                     dst_port, src_asn, scanner_id, payload_id,
+                     payloads) -> None:
+        """Row-by-row fallback when no vectorized router is wired."""
+        for i in range(len(time)):
+            payload = None
+            if payload_id is not None and payload_id[i] >= 0:
+                payload = payloads[int(payload_id[i])]
+            dst = (int(dst_hi[i]) << 64) | int(dst_lo[i])
+            telescope = self.route(dst, float(time[i]))
+            if telescope is None:
+                self.packets_unrouted += 1
+                continue
+            telescope.deliver(Packet(
+                time=float(time[i]),
+                src=(int(src_hi[i]) << 64) | int(src_lo[i]),
+                dst=dst, protocol=Protocol(int(protocol[i])),
+                dst_port=int(dst_port[i]), payload=payload,
+                src_asn=int(src_asn[i]),
+                scanner_id=int(scanner_id[i])))
+
+
+def _as_column(value, n: int) -> np.ndarray:
+    """Broadcast a scalar column to ``n`` rows (arrays pass through)."""
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        return np.full(n, arr)
+    return arr
+
+
+def _subset_payloads(payload_id: np.ndarray | None,
+                     payloads: list[bytes] | None,
+                     rows: np.ndarray) -> tuple[np.ndarray | None,
+                                                list[bytes] | None]:
+    """Re-key a payload side list for a row subset (split sessions only)."""
+    if payload_id is None or payloads is None:
+        return None, None
+    ids = payload_id[rows]
+    hit = ids >= 0
+    if not hit.any():
+        return None, None
+    used, inverse = np.unique(ids[hit], return_inverse=True)
+    subset = [payloads[int(u)] for u in used]
+    new_ids = np.full(len(rows), -1, dtype=np.int64)
+    new_ids[hit] = inverse
+    return new_ids, subset
+
+
+@dataclass(eq=False)
 class Scanner:
-    """One scan source with full generative behavior."""
+    """One scan source with full generative behavior.
+
+    Agents compare (and hash) by identity so a context can key its
+    deferred-session queue by scanner.
+    """
 
     scanner_id: int
     name: str
@@ -253,12 +416,40 @@ class Scanner:
 
     def fire(self, ctx: ScannerContext, when: float,
              trigger: Prefix | None = None) -> int:
-        """Emit one scan session starting at ``when``; returns packet count."""
+        """Emit one scan session starting at ``when``; returns packet count.
+
+        In deferred-batch mode the session is only *resolved* here (the
+        time-dependent draws: network selection, session size, nonce) and
+        the packet columns materialize later in
+        :meth:`ScannerContext.flush_batches`; the returned count is then
+        the requested target count, which an address strategy may trim.
+        """
         selections = self.network_policy.select(ctx, self.rng, trigger)
         if not selections:
             return 0
         total = max(1, int(self.packets_per_session(self.rng)))
         self.sessions_fired += 1
+        if not ctx.batch_emit:
+            return self._fire_legacy(ctx, when, selections, total)
+        weight_sum = sum(w for _, w in selections)
+        session = _PendingSession(
+            when=when,
+            prefixes=tuple(p for p, _ in selections),
+            counts=tuple(max(1, round(total * w / weight_sum))
+                         for _, w in selections),
+            nonce=self.sessions_fired)
+        if ctx.defer_batch:
+            ctx._pending.setdefault(self, []).append(session)
+            return sum(session.counts)
+        if self.sessions_fired % _SPAN_SAMPLE == 1:
+            with obs.span("scanner.batch_emit", scanner=self.name,
+                          sessions=1):
+                return self._flush_sessions(ctx, [session])
+        return self._flush_sessions(ctx, [session])
+
+    def _fire_legacy(self, ctx: ScannerContext, when: float,
+                     selections, total: int) -> int:
+        """Per-packet oracle path (``REPRO_LEGACY_EMIT=1``)."""
         nonce = self.sessions_fired
         weight_sum = sum(w for _, w in selections)
         emitted = 0
@@ -281,6 +472,113 @@ class Scanner:
                 # next prefix becomes its own session (> 1h timeout gap)
                 t += float(self.rng.uniform(1.25 * HOUR, 2.5 * HOUR))
         return emitted
+
+    def _flush_sessions(self, ctx: ScannerContext,
+                        sessions: list["_PendingSession"]) -> int:
+        """Emit resolved sessions as one NumPy column batch (the hot path).
+
+        Canonical RNG draw order: per session in firing order — prefix
+        spreading gaps, then each prefix's targets — followed by one
+        protocol/port draw, one inter-packet-gap draw, one payload mask
+        and one payload-tail draw covering every packet of the batch.
+        This differs from the legacy per-packet interleaving, so the two
+        paths agree in distribution (differential-tested marginals) but
+        not packet-for-packet. The batch path is itself byte-deterministic
+        for a fixed seed.
+        """
+        from repro.scanners.strategies import split_targets
+        rng = self.rng
+        batch_gen = getattr(self.addr_strategy, "generate_batch", None)
+        spread = self.spread_prefix_sessions
+        seg_hi: list[np.ndarray] = []       # per-segment target columns
+        seg_lo: list[np.ndarray] = []
+        seg_len: list[int] = []
+        seg_offset: list[float] = []        # segment start offset in session
+        sess_len: list[int] = []            # non-empty sessions only
+        sess_when: list[float] = []
+        sess_nonce: list[int] = []
+        for session in sessions:
+            k = len(session.prefixes)
+            extras = rng.uniform(1.25 * HOUR, 2.5 * HOUR, size=k - 1) \
+                if spread and k > 1 else None
+            offset = 0.0
+            this_len = 0
+            for j, (prefix, count) in enumerate(zip(session.prefixes,
+                                                    session.counts)):
+                pair = batch_gen(prefix, count, rng) \
+                    if batch_gen is not None else None
+                if pair is None:
+                    pair = split_targets(
+                        self.addr_strategy.generate(prefix, count, rng))
+                m = len(pair[0])
+                if m:
+                    seg_hi.append(pair[0])
+                    seg_lo.append(pair[1])
+                    seg_len.append(m)
+                    seg_offset.append(offset)
+                    this_len += m
+                if extras is not None and j < k - 1:
+                    # each later prefix becomes its own observed session
+                    # (> 1h timeout gap)
+                    offset += extras[j]
+            if this_len:
+                sess_len.append(this_len)
+                sess_when.append(session.when)
+                sess_nonce.append(session.nonce)
+        n = sum(seg_len)
+        if n == 0:
+            return 0
+        if len(seg_hi) == 1:
+            dst_hi, dst_lo = seg_hi[0], seg_lo[0]
+        else:
+            dst_hi = np.concatenate(seg_hi)
+            dst_lo = np.concatenate(seg_lo)
+
+        protocols, ports = self.protocol_profile.sample_batch(rng, n)
+
+        # one continuous exponential gap chain per session, re-anchored at
+        # each session's firing time (and shifted per spread segment)
+        gaps = rng.exponential(self.mean_packet_gap, size=n)
+        chain = np.cumsum(gaps) - gaps
+        lengths = np.asarray(sess_len)
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        times = np.repeat(np.asarray(sess_when) - chain[starts],
+                          lengths) + chain
+        if spread and len(seg_len) > len(sess_len):
+            times = times + np.repeat(seg_offset, seg_len)
+
+        payload_id = None
+        payloads = None
+        if self.tool is not None and self.payload_probability > 0:
+            hits = rng.random(n) < self.payload_probability
+            k = int(np.count_nonzero(hits))
+            if k:
+                payloads = self.tool.payload_batch(rng, self._seq + 1, k)
+                self._seq += k
+                payload_id = np.full(n, -1, dtype=np.int64)
+                payload_id[hits] = np.arange(k)
+
+        subnet = self.source_subnet
+        src_hi = np.uint64(subnet.network >> 64)
+        if self.source_model is SourceModel.PER_PORT:
+            iid = np.uint64(self._fixed_iid) \
+                ^ (ports.astype(np.uint64) * np.uint64(_GOLDEN))
+            src_lo = np.where(iid == 0, np.uint64(1), iid)
+        elif self.source_model is SourceModel.PER_SESSION:
+            slots = np.asarray(sess_nonce, dtype=np.uint64) \
+                % np.uint64(self.ROTATION_POOL)
+            iid = np.uint64(self._fixed_iid) \
+                ^ (slots * np.uint64(_GOLDEN))
+            src_lo = np.repeat(np.where(iid == 0, np.uint64(1), iid),
+                               lengths)
+        else:
+            src_lo = np.uint64(self._fixed_iid)
+
+        obs.add("sim.packets_emitted_batch_total", n)
+        return ctx.inject_batch(
+            times, src_hi, src_lo, dst_hi, dst_lo, protocols, ports,
+            np.uint32(self.as_record.asn), np.int64(self.scanner_id),
+            payload_id=payload_id, payloads=payloads)
 
     def _payload(self) -> bytes | None:
         if self.tool is None or self.payload_probability <= 0:

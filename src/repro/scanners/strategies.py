@@ -22,11 +22,30 @@ from repro.telescope.packet import (TRACEROUTE_PORT_RANGE, Protocol)
 
 
 class AddressStrategy(TypingProtocol):
-    """Generates ``count`` targets inside ``prefix``."""
+    """Generates ``count`` targets inside ``prefix``.
+
+    Strategies may additionally implement
+    ``generate_batch(prefix, count, rng) -> (hi, lo) | None`` returning the
+    targets as two ``uint64`` half columns; ``None`` signals the batch
+    form cannot serve this configuration and the caller falls back to
+    :meth:`generate`. Batch draws follow their own canonical RNG order.
+    """
 
     def generate(self, prefix: Prefix, count: int,
                  rng: np.random.Generator) -> list[int]:
         ...  # pragma: no cover
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def split_targets(targets: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+    """Split 128-bit integer targets into (hi, lo) uint64 columns."""
+    n = len(targets)
+    hi = np.fromiter((t >> 64 for t in targets), dtype=np.uint64, count=n)
+    lo = np.fromiter((t & _MASK64 for t in targets), dtype=np.uint64,
+                     count=n)
+    return hi, lo
 
 
 @dataclass
@@ -59,6 +78,29 @@ class LowByteStrategy:
                 targets.append(base | host)
         return targets
 
+    def generate_batch(self, prefix: Prefix, count: int,
+                       rng: np.random.Generator) \
+            -> tuple[np.ndarray, np.ndarray] | None:
+        subnet_len = max(self.subnet_len, prefix.length)
+        if subnet_len > 64 or count <= 0:
+            return None
+        span = subnet_len - prefix.length
+        bits = min(span, 62)
+        start = random_bits(rng, bits) if span else 0
+        index = (np.uint64(start) + np.arange(count, dtype=np.uint64)) \
+            % np.uint64(1 << bits)
+        hi = np.uint64(prefix.network >> 64) \
+            + index * np.uint64(1 << (64 - subnet_len))
+        if len(self.hosts) == 1:
+            lo = np.full(count, self.hosts[0], dtype=np.uint64)
+        else:
+            hosts = np.array(self.hosts, dtype=np.uint64)
+            lo = hosts[np.arange(count) % len(hosts)]
+        if self.anycast_share:
+            lo = np.where(rng.random(count) < self.anycast_share,
+                          np.uint64(0), lo)
+        return hi, lo
+
 
 @dataclass
 class StructuredSweepStrategy:
@@ -70,6 +112,25 @@ class StructuredSweepStrategy:
                  rng: np.random.Generator) -> list[int]:
         return addrgen.structured_sweep(prefix, rng, count,
                                         subnet_len=self.subnet_len)
+
+    def generate_batch(self, prefix: Prefix, count: int,
+                       rng: np.random.Generator) \
+            -> tuple[np.ndarray, np.ndarray] | None:
+        subnet_len = self.subnet_len
+        if subnet_len < prefix.length:
+            subnet_len = min(prefix.length + 16, ADDR_BITS)
+        if subnet_len > 64 or count <= 0:
+            return None
+        total = 1 << (subnet_len - prefix.length)
+        stride = max(1, total // count)
+        # the scalar sweep stops at the prefix boundary; emit exactly the
+        # subnets it would have visited
+        valid = min(count, (total - 1) // stride + 1)
+        host = int(rng.integers(1, 16))
+        step = np.uint64(stride << (64 - subnet_len))
+        hi = np.uint64(prefix.network >> 64) \
+            + np.arange(valid, dtype=np.uint64) * step
+        return hi, np.full(valid, host, dtype=np.uint64)
 
 
 @dataclass
@@ -99,6 +160,33 @@ class RandomStrategy:
             targets.append(base | random_bits(rng, ADDR_BITS - subnet_len))
         return targets
 
+    def generate_batch(self, prefix: Prefix, count: int,
+                       rng: np.random.Generator) \
+            -> tuple[np.ndarray, np.ndarray] | None:
+        if prefix.length > 64 or count <= 0:
+            return None
+        base_hi = np.uint64(prefix.network >> 64)
+        lo = rng.integers(0, 1 << 64, size=count, dtype=np.uint64)
+        if not self.structured_subnets:
+            span = 64 - prefix.length
+            hi = base_hi + rng.integers(0, 1 << span, size=count,
+                                        dtype=np.uint64)
+            return hi, lo
+        subnet_len = max(self.subnet_len, prefix.length)
+        if subnet_len > 64:
+            return None
+        span = subnet_len - prefix.length
+        bits = min(span, 62)
+        start = random_bits(rng, bits) if span else 0
+        index = (np.uint64(start) + np.arange(count, dtype=np.uint64)) \
+            % np.uint64(1 << bits)
+        hi = base_hi + index * np.uint64(1 << (64 - subnet_len))
+        if subnet_len < 64:
+            # the random part extends above the low half
+            hi = hi | rng.integers(0, 1 << (64 - subnet_len), size=count,
+                                   dtype=np.uint64)
+        return hi, lo
+
 
 @dataclass
 class FixedTargetsStrategy:
@@ -111,6 +199,26 @@ class FixedTargetsStrategy:
         in_prefix = [t for t in self.targets if prefix.contains_address(t)]
         pool = in_prefix or list(self.targets)
         return [pool[i % len(pool)] for i in range(count)]
+
+    def generate_batch(self, prefix: Prefix, count: int,
+                       rng: np.random.Generator) \
+            -> tuple[np.ndarray, np.ndarray] | None:
+        if count <= 0:
+            return None
+        cache = getattr(self, "_pool_cache", None)
+        if cache is None:
+            cache = {}
+            self._pool_cache = cache
+        key = (prefix.network, prefix.length)
+        pool = cache.get(key)
+        if pool is None:
+            in_prefix = [t for t in self.targets
+                         if prefix.contains_address(t)]
+            pool = split_targets(in_prefix or list(self.targets))
+            cache[key] = pool
+        hi, lo = pool
+        index = np.arange(count) % len(hi)
+        return hi[index], lo[index]
 
 
 @dataclass
@@ -165,12 +273,29 @@ class MixStrategy:
 
     def generate(self, prefix: Prefix, count: int,
                  rng: np.random.Generator) -> list[int]:
+        return self._pick(rng).generate(prefix, count, rng)
+
+    def generate_batch(self, prefix: Prefix, count: int,
+                       rng: np.random.Generator) \
+            -> tuple[np.ndarray, np.ndarray] | None:
+        part = self._pick(rng)
+        batch = getattr(part, "generate_batch", None)
+        if batch is not None:
+            pair = batch(prefix, count, rng)
+            if pair is not None:
+                return pair
+        return split_targets(part.generate(prefix, count, rng))
+
+    def _pick(self, rng: np.random.Generator) -> AddressStrategy:
         if not self.parts:
             raise ExperimentError("empty strategy mix")
-        weights = np.array([w for w, _ in self.parts], dtype=float)
-        weights = weights / weights.sum()
-        index = int(rng.choice(len(self.parts), p=weights))
-        return self.parts[index][1].generate(prefix, count, rng)
+        cum = getattr(self, "_cum", None)
+        if cum is None:
+            weights = np.array([w for w, _ in self.parts], dtype=float)
+            self._cum = cum = np.cumsum(weights / weights.sum())
+        index = min(int(np.searchsorted(cum, rng.random(), side="right")),
+                    len(self.parts) - 1)
+        return self.parts[index][1]
 
 
 # -- protocol/port profiles -----------------------------------------------
@@ -200,6 +325,9 @@ class PortDistribution:
             cumulative.append((running, port))
         # plain attribute set works for non-slotted dataclasses
         self._cumulative = cumulative
+        self._thresholds = np.array([t for t, _ in cumulative])
+        self._port_values = np.array([p for _, p in cumulative],
+                                     dtype=np.uint16)
 
     def sample(self, rng: np.random.Generator) -> int:
         if self.broad_share and rng.random() < self.broad_share:
@@ -210,6 +338,28 @@ class PortDistribution:
             if draw <= threshold:
                 return port
         return self.ports[-1]
+
+    def sample_batch(self, rng: np.random.Generator,
+                     count: int) -> np.ndarray:
+        """``count`` port draws as one ``uint16`` column.
+
+        Consumes the RNG in a fixed canonical order (weighted draw, then
+        broad mask, then broad values) — not the per-call order of
+        :meth:`sample` — so the batch path is self-deterministic while the
+        marginal distribution stays identical.
+        """
+        index = np.searchsorted(self._thresholds, rng.random(count),
+                                side="left")
+        ports = self._port_values[
+            np.minimum(index, len(self._port_values) - 1)]
+        if self.broad_share:
+            broad = rng.random(count) < self.broad_share
+            low, high = self.broad_range
+            ports = np.where(
+                broad,
+                rng.integers(low, high + 1, size=count).astype(np.uint16),
+                ports)
+        return ports
 
 
 #: Table 4 TCP mix: port 80 dominates, then 443, 21, 8080, 22.
@@ -256,6 +406,41 @@ class ProtocolProfile:
             low, high = TRACEROUTE_PORT_RANGE
             return Protocol.UDP, int(rng.integers(low, high + 1))
         return Protocol.UDP, self.udp_ports.sample(rng)
+
+    def sample_batch(self, rng: np.random.Generator,
+                     count: int) -> tuple[np.ndarray, np.ndarray]:
+        """``count`` (protocol, port) draws as ``(uint8, uint16)`` columns.
+
+        Canonical draw order: protocol choice, TCP ports, UDP traceroute
+        mask, UDP traceroute ports, UDP service ports. Single-protocol
+        profiles skip the draws they cannot need, so e.g. a pure-ICMPv6
+        scanner costs zero RNG consumption per packet here.
+        """
+        total = self.icmpv6 + self.tcp + self.udp
+        if total <= 0:
+            raise ExperimentError("protocol profile has no weight")
+        protocols = np.full(count, int(Protocol.ICMPV6), dtype=np.uint8)
+        ports = np.zeros(count, dtype=np.uint16)
+        if self.tcp == 0 and self.udp == 0:
+            return protocols, ports
+        draw = rng.random(count) * total
+        tcp_rows = np.flatnonzero(
+            (draw >= self.icmpv6) & (draw < self.icmpv6 + self.tcp))
+        udp_rows = np.flatnonzero(draw >= self.icmpv6 + self.tcp)
+        if len(tcp_rows):
+            protocols[tcp_rows] = int(Protocol.TCP)
+            ports[tcp_rows] = self.tcp_ports.sample_batch(rng, len(tcp_rows))
+        if len(udp_rows):
+            protocols[udp_rows] = int(Protocol.UDP)
+            n_udp = len(udp_rows)
+            trace = rng.random(n_udp) < self.udp_traceroute_share
+            low, high = TRACEROUTE_PORT_RANGE
+            udp_ports = np.where(
+                trace,
+                rng.integers(low, high + 1, size=n_udp).astype(np.uint16),
+                self.udp_ports.sample_batch(rng, n_udp))
+            ports[udp_rows] = udp_ports
+        return protocols, ports
 
 
 #: Common profiles.

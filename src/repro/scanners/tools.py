@@ -31,6 +31,19 @@ class ToolSignature:
                                                   size=self.variable_len))
         return self.magic + struct.pack(">I", seq & 0xFFFFFFFF) + tail
 
+    def payload_batch(self, rng: np.random.Generator, first_seq: int,
+                      count: int) -> list[bytes]:
+        """``count`` payloads with consecutive sequence numbers.
+
+        One RNG draw covers every tail, so a whole session's payloads cost
+        a single ``integers`` call instead of one per probe.
+        """
+        tails = rng.integers(0, 256, size=(count, self.variable_len),
+                             dtype=np.uint8)
+        magic = self.magic
+        return [magic + struct.pack(">I", (first_seq + i) & 0xFFFFFFFF)
+                + tails[i].tobytes() for i in range(count)]
+
     def matches(self, payload: bytes) -> bool:
         """True if ``payload`` starts with this tool's magic bytes."""
         return payload.startswith(self.magic)

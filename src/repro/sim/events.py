@@ -17,9 +17,13 @@ from repro.errors import SimulationError
 from repro.sim.clock import SimClock
 
 
-@dataclass(order=True, slots=True)
+@dataclass(slots=True)
 class Event:
     """A scheduled callback.
+
+    Events themselves don't implement ordering — the queue keeps them in
+    ``(time, seq)``-keyed heap entries so heap sifts compare plain floats
+    and ints at C speed instead of calling back into Python.
 
     Attributes:
         time: absolute simulation time at which the event fires.
@@ -30,10 +34,10 @@ class Event:
 
     time: float
     seq: int
-    action: Callable[[], Any] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    _queue: Any = field(default=None, compare=False, repr=False)
+    action: Callable[[], Any]
+    label: str = ""
+    cancelled: bool = False
+    _queue: Any = field(default=None, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
@@ -57,7 +61,8 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        #: heap of ``(time, seq, event)`` — C-speed float/int comparisons
+        self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._live = 0
         self.events_cancelled = 0
@@ -73,7 +78,7 @@ class EventQueue:
             raise SimulationError(f"cannot schedule event before t=0 ({time})")
         event = Event(time=float(time), seq=next(self._counter),
                       action=action, label=label, _queue=self)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
         self._live += 1
         if self._live > self.high_water:
             self.high_water = self._live
@@ -82,7 +87,7 @@ class EventQueue:
     def peek_time(self) -> float | None:
         """Firing time of the next live event, or ``None`` if empty."""
         self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def pop(self) -> Event | None:
         """Remove and return the next live event, or ``None`` if empty."""
@@ -90,12 +95,12 @@ class EventQueue:
         if not self._heap:
             return None
         self._live -= 1
-        event = heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)[2]
         event._queue = None  # a late cancel() must not re-decrement
         return event
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
 
 

@@ -4,6 +4,17 @@ Mirrors a pcap pipeline: packets are appended as they arrive, an optional
 :class:`CaptureFilter` drops out-of-scope traffic (T2 excludes its
 productive /56), and :meth:`PacketCapture.packets` returns an arrival-time
 sorted view for analysis.
+
+Two append paths feed a capture:
+
+- :meth:`PacketCapture.record` stores one ``Packet`` object (the legacy
+  emission oracle, responders, and low-volume emitters like the TGA);
+- :meth:`PacketCapture.append_batch` appends whole NumPy column batches
+  from the batched session kernel into a
+  :class:`repro.core.columnar.PacketTableBuilder` — no ``Packet`` objects
+  exist on this path until an analysis materializes them.
+
+:meth:`table` merges both stores into one time-sorted columnar view.
 """
 
 from __future__ import annotations
@@ -11,7 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
+import numpy as np
+
 from repro import obs
+from repro.net.lpm import contains_mask
 from repro.net.prefix import Prefix
 from repro.telescope.packet import Packet
 
@@ -39,6 +53,19 @@ class CaptureFilter:
                 return False
         return True
 
+    def accept_mask(self, src_hi: np.ndarray, src_lo: np.ndarray,
+                    dst_hi: np.ndarray, dst_lo: np.ndarray) \
+            -> np.ndarray | None:
+        """Vectorized :meth:`accepts` over columns; ``None`` = keep all."""
+        if not self.exclude_dst_prefixes and not self.exclude_src_prefixes:
+            return None
+        drop = np.zeros(len(dst_hi), dtype=bool)
+        for prefix in self.exclude_dst_prefixes:
+            drop |= contains_mask(prefix, dst_hi, dst_lo)
+        for prefix in self.exclude_src_prefixes:
+            drop |= contains_mask(prefix, src_hi, src_lo)
+        return ~drop
+
 
 @dataclass
 class PacketCapture:
@@ -48,6 +75,7 @@ class PacketCapture:
     capture_filter: CaptureFilter | None = None
     _packets: list[Packet] = field(default_factory=list)
     _sorted: bool = field(default=True)
+    _builder: object = field(default=None, repr=False)
     _table: object = field(default=None, repr=False)
     dropped: int = 0
     # bound metrics, cached per recorder so the per-packet cost while
@@ -70,15 +98,59 @@ class PacketCapture:
             self._sorted = False
         self._packets.append(packet)
         self._table = None
-        recorder = obs.current()
-        if recorder is not None:
-            if self._obs_owner is not recorder:
-                self._obs_counter = recorder.metrics.counter(
-                    "telescope.packets_total",
-                    telescope=self.name or "unnamed")
-                self._obs_owner = recorder
-            self._obs_counter.inc()
+        self._bound_counter()
         return True
+
+    def append_batch(self, time, src_hi, src_lo, dst_hi, dst_lo, protocol,
+                     dst_port, src_asn, scanner_id,
+                     payload_id: np.ndarray | None = None,
+                     payloads: list[bytes] | None = None) -> int:
+        """Append one column batch; returns the number of rows stored."""
+        n = len(time)
+        if n == 0:
+            return 0
+        if self.capture_filter is not None:
+            keep = self.capture_filter.accept_mask(src_hi, src_lo,
+                                                   dst_hi, dst_lo)
+            if keep is not None:
+                kept = int(np.count_nonzero(keep))
+                if kept < n:
+                    self.dropped += n - kept
+                    obs.add("telescope.packets_dropped_total", n - kept,
+                            telescope=self.name or "unnamed")
+                    if kept == 0:
+                        return 0
+                    time = time[keep]
+                    src_hi, src_lo = src_hi[keep], src_lo[keep]
+                    dst_hi, dst_lo = dst_hi[keep], dst_lo[keep]
+                    protocol, dst_port = protocol[keep], dst_port[keep]
+                    src_asn, scanner_id = src_asn[keep], scanner_id[keep]
+                    if payload_id is not None:
+                        payload_id = payload_id[keep]
+                    n = kept
+        if self._builder is None:
+            from repro.core.columnar import PacketTableBuilder
+            self._builder = PacketTableBuilder()
+        self._builder.append(time, src_hi, src_lo, dst_hi, dst_lo, protocol,
+                             dst_port, src_asn, scanner_id,
+                             payload_id=payload_id, payloads=payloads)
+        self._table = None
+        counter = self._bound_counter()
+        if counter is not None:
+            counter.inc(n - 1)  # _bound_counter already added one
+        return n
+
+    def _bound_counter(self):
+        recorder = obs.current()
+        if recorder is None:
+            return None
+        if self._obs_owner is not recorder:
+            self._obs_counter = recorder.metrics.counter(
+                "telescope.packets_total",
+                telescope=self.name or "unnamed")
+            self._obs_owner = recorder
+        self._obs_counter.inc()
+        return self._obs_counter
 
     def extend(self, packets: Iterable[Packet]) -> int:
         """Record many packets; returns the number stored."""
@@ -89,28 +161,46 @@ class PacketCapture:
         return stored
 
     def __len__(self) -> int:
-        return len(self._packets)
+        n = len(self._packets)
+        if self._builder is not None:
+            n += len(self._builder)
+        return n
 
     def __iter__(self) -> Iterator[Packet]:
         return iter(self.packets())
 
     def packets(self) -> list[Packet]:
-        """Arrival-time sorted view of all stored packets."""
-        if not self._sorted:
-            self._packets.sort(key=lambda p: p.time)
-            self._sorted = True
-        return self._packets
+        """Arrival-time sorted view of all stored packets.
+
+        On the object path this is the capture's own list; once column
+        batches exist the merged table materializes (and caches) the
+        ``Packet`` objects.
+        """
+        if self._builder is None or not len(self._builder):
+            if not self._sorted:
+                self._packets.sort(key=lambda p: p.time)
+                self._sorted = True
+            return self._packets
+        return self.table().to_packets()
 
     def table(self):
         """Columnar (structure-of-arrays) view of the sorted capture.
 
-        Cached until the next append; shares the capture's ``Packet``
-        objects so analyses materializing rows get identical instances.
+        Cached until the next append. When only ``Packet`` objects were
+        recorded it shares them, so analyses materializing rows get
+        identical instances; once batches exist the two stores are merged
+        and stably re-sorted by arrival time.
         """
         if self._table is None:
             # deferred: repro.core pulls in telescope.packet at import time
-            from repro.core.columnar import PacketTable
-            self._table = PacketTable.from_packets(self.packets())
+            from repro.core.columnar import PacketTable, concat_tables
+            if self._builder is None or not len(self._builder):
+                self._table = PacketTable.from_packets(self.packets())
+            else:
+                parts = [self._builder.snapshot()]
+                if self._packets:
+                    parts.append(PacketTable.from_packets(self._packets))
+                self._table = concat_tables(parts).time_sorted()
         return self._table
 
     def filtered(self, predicate: Callable[[Packet], bool]) -> list[Packet]:
@@ -124,12 +214,22 @@ class PacketCapture:
         return data[lo:hi]
 
     def sources(self) -> set[int]:
+        if self._builder is not None and len(self._builder):
+            return self.table().unique_source_addresses()
         return {p.src for p in self._packets}
 
     def destinations(self) -> set[int]:
+        if self._builder is not None and len(self._builder):
+            table = self.table()
+            pairs = np.unique(
+                np.stack((table.dst_hi, table.dst_lo), axis=1), axis=0)
+            return {(int(hi) << 64) | int(lo) for hi, lo in pairs.tolist()}
         return {p.dst for p in self._packets}
 
     def source_asns(self) -> set[int]:
+        if self._builder is not None and len(self._builder):
+            asns = np.unique(self.table().src_asn)
+            return {int(a) for a in asns.tolist() if a}
         return {p.src_asn for p in self._packets if p.src_asn}
 
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.bgp.collector import RouteCollector
 from repro.bgp.controller import (AnnouncementCycle, SplitController,
                                   build_split_schedule)
@@ -23,6 +25,7 @@ from repro.dns.umbrella import UmbrellaList
 from repro.dns.zone import Zone
 from repro.errors import ExperimentError
 from repro.hitlist.service import HitlistService
+from repro.net.lpm import NO_MATCH, build_matcher
 from repro.net.prefix import Prefix
 from repro.sim.clock import WEEK
 from repro.sim.events import Simulator
@@ -65,6 +68,10 @@ class Deployment:
     baseline_weeks: int = 12
     #: set by :func:`build_deployment` when route-object creation is armed.
     route_object_created_at: float | None = None
+    # routing-epoch machinery of route_batch, built lazily from the
+    # controller schedule
+    _epoch_boundaries: object = field(default=None, repr=False)
+    _epoch_matchers: dict = field(default_factory=dict, repr=False)
 
     @property
     def t1(self) -> Telescope:
@@ -109,6 +116,60 @@ class Deployment:
                 if prefix.contains_address(dst):
                     return self.telescopes["T1"]
         return None
+
+    def _boundaries(self) -> np.ndarray:
+        """Routing-epoch boundaries: every schedule announce/withdraw time.
+
+        Between two consecutive boundaries the data plane is constant
+        (:meth:`route` depends on time only through
+        ``controller.cycle_at``, which is schedule-driven), so one prefix
+        matcher per epoch reproduces :meth:`route` exactly.
+        """
+        if self._epoch_boundaries is None:
+            times = set()
+            for cycle in self.controller.schedule:
+                times.add(cycle.announce_time)
+                times.add(cycle.withdraw_time)
+            self._epoch_boundaries = np.array(sorted(times))
+        return self._epoch_boundaries
+
+    def _epoch_matcher(self, epoch: int):
+        matcher = self._epoch_matchers.get(epoch)
+        if matcher is None:
+            boundaries = self._boundaries()
+            probe = float("-inf") if epoch == 0 \
+                else float(boundaries[epoch - 1])
+            entries = [(T2_PREFIX, 1), (T3_PREFIX, 2), (T4_PREFIX, 3)]
+            cycle = self.controller.cycle_at(probe)
+            if cycle is not None:
+                entries.extend((prefix, 0) for prefix in cycle.prefixes)
+            matcher = build_matcher(entries, default=NO_MATCH)
+            self._epoch_matchers[epoch] = matcher
+        return matcher
+
+    def route_batch(self, dst_hi: np.ndarray, dst_lo: np.ndarray,
+                    time: np.ndarray):
+        """Vectorized, epoch-aware :meth:`route` over packet columns.
+
+        Returns ``(slots, telescopes)`` where each row's slot indexes the
+        telescope tuple, with ``-1`` for unrouted rows. Rows are grouped
+        by routing epoch (``searchsorted`` over the schedule boundaries),
+        so a session straddling an announce or withdraw still lands each
+        packet on the table in force at its own timestamp.
+        """
+        epochs = np.searchsorted(self._boundaries(), time, side="right")
+        first = int(epochs[0])
+        telescopes = (self.telescopes["T1"], self.telescopes["T2"],
+                      self.telescopes["T3"], self.telescopes["T4"])
+        if epochs[0] == epochs[-1] and (epochs == first).all():
+            return self._epoch_matcher(first).lookup(dst_hi, dst_lo), \
+                telescopes
+        slots = np.empty(len(dst_hi), dtype=np.int16)
+        for epoch in np.unique(epochs):
+            rows = epochs == epoch
+            slots[rows] = self._epoch_matcher(int(epoch)).lookup(
+                dst_hi[rows], dst_lo[rows])
+        return slots, telescopes
 
     def announced_t1_prefixes(self, now: float | None = None) \
             -> tuple[Prefix, ...]:

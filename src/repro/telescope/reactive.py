@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.telescope.packet import ICMPV6, TCP, Packet, Protocol
+import numpy as np
+
+from repro.telescope.packet import ICMPV6, TCP, UDP, Packet, Protocol
 
 
 @dataclass
@@ -43,6 +45,28 @@ class ReactiveResponder:
                 ports = self._responded_ports.setdefault(packet.dst, set())
                 ports.add(packet.dst_port)
         return answer
+
+    def respond_batch(self, protocol: np.ndarray, dst_hi: np.ndarray,
+                      dst_lo: np.ndarray, dst_port: np.ndarray) -> int:
+        """Vectorized :meth:`responds` over a probe batch; returns answers."""
+        answered = np.zeros(len(protocol), dtype=bool)
+        tcp = protocol == int(TCP)
+        if self.accept_tcp:
+            answered |= tcp
+        if self.accept_icmpv6:
+            answered |= protocol == int(ICMPV6)
+        if self.accept_udp:
+            answered |= protocol == int(UDP)
+        count = int(np.count_nonzero(answered))
+        self.responses_sent += count
+        if self.accept_tcp and tcp.any():
+            rows = np.flatnonzero(tcp)
+            for hi, lo, port in zip(dst_hi[rows].tolist(),
+                                    dst_lo[rows].tolist(),
+                                    dst_port[rows].tolist()):
+                self._responded_ports.setdefault(
+                    (hi << 64) | lo, set()).add(port)
+        return count
 
     def open_ports(self, addr: int) -> set[int]:
         """TCP ports this responder has answered on for ``addr``."""

@@ -64,6 +64,23 @@ class Telescope:
             return self.responder.responds(packet)
         return False
 
+    def deliver_batch(self, time, src_hi, src_lo, dst_hi, dst_lo, protocol,
+                      dst_port, src_asn, scanner_id, payload_id=None,
+                      payloads=None) -> int:
+        """Record a column batch; returns the number of rows captured.
+
+        The vectorized router only hands a telescope rows it owns, so the
+        per-packet ownership assertion is skipped. Like :meth:`deliver`,
+        the responder sees every arriving probe, including ones the
+        capture filter drops.
+        """
+        stored = self.capture.append_batch(
+            time, src_hi, src_lo, dst_hi, dst_lo, protocol, dst_port,
+            src_asn, scanner_id, payload_id=payload_id, payloads=payloads)
+        if self.responder is not None:
+            self.responder.respond_batch(protocol, dst_hi, dst_lo, dst_port)
+        return stored
+
     @property
     def packet_count(self) -> int:
         return len(self.capture)

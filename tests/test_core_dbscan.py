@@ -95,3 +95,22 @@ class TestBorderUpgrade:
         later cluster expands into its neighborhood (reviewed bug)."""
         labels = dbscan([3.0, 0.0, 1.0, 2.0], eps=1.0, min_samples=3)
         assert labels == [0, 0, 0, 0]
+
+
+class TestPairwisePath:
+    """The precomputed-distance-matrix path must match the re-scan path."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 32), st.integers(2, 6))
+    def test_matches_scan_path(self, seed, dims):
+        import repro.core.dbscan as mod
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(60, dims)) * 3.0
+        fast = dbscan(points, eps=1.5, min_samples=3)
+        original = mod.PAIRWISE_LIMIT
+        mod.PAIRWISE_LIMIT = 0
+        try:
+            slow = dbscan(points, eps=1.5, min_samples=3)
+        finally:
+            mod.PAIRWISE_LIMIT = original
+        assert fast == slow

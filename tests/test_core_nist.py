@@ -32,6 +32,27 @@ class TestBitsFromAddresses:
         with pytest.raises(AnalysisError):
             bits_from_addresses([0], take_bits=100, skip_high=64)
 
+    def test_empty(self):
+        bits = bits_from_addresses([], take_bits=64, skip_high=64)
+        assert len(bits) == 0 and bits.dtype == np.int8
+
+    @given(st.lists(st.integers(0, (1 << 128) - 1), max_size=20),
+           st.integers(0, 64), st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_reference_loop(self, addrs, skip_high, take_bits):
+        got = bits_from_addresses(addrs, take_bits=take_bits,
+                                  skip_high=skip_high)
+        # the pre-vectorization implementation, kept as the oracle
+        expect = np.empty(len(addrs) * take_bits, dtype=np.int8)
+        pos = 0
+        top = 128 - skip_high
+        for addr in addrs:
+            section = (addr >> (top - take_bits)) & ((1 << take_bits) - 1)
+            for shift in range(take_bits - 1, -1, -1):
+                expect[pos] = (section >> shift) & 1
+                pos += 1
+        assert np.array_equal(got, expect)
+
 
 class TestFrequency:
     def test_random_passes(self, random_bits):

@@ -105,3 +105,28 @@ class TestRandomized:
     def test_out_of_range_rejected(self):
         with pytest.raises(ValueError):
             classify_address(-1)
+
+
+class TestVectorizedClassifier:
+    """classify_iids must agree with the scalar classifier bit-for-bit."""
+
+    def test_code_order_covers_all_types(self):
+        from repro.net.addrtypes import TYPE_ORDER
+        assert set(TYPE_ORDER) == set(AddressType)
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1),
+                    min_size=1, max_size=50))
+    def test_matches_scalar(self, iids):
+        from repro.net.addrtypes import TYPE_ORDER, classify_iids
+        codes = classify_iids(np.array(iids, dtype=np.uint64))
+        for iid, code in zip(iids, codes.tolist()):
+            assert TYPE_ORDER[code] is classify_address(addr(iid)), hex(iid)
+
+    def test_structured_specimens(self):
+        from repro.net.addrtypes import TYPE_ORDER, classify_iids
+        specimens = [0, 1, 0x443, 53, 0xCAFE, 0xFFFE << 24,
+                     0x02005EFE00000000, 0x0192000000020001,
+                     0xC0000201, 0x1111111111111111]
+        codes = classify_iids(np.array(specimens, dtype=np.uint64))
+        for iid, code in zip(specimens, codes.tolist()):
+            assert TYPE_ORDER[code] is classify_address(iid)

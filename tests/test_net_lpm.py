@@ -1,0 +1,173 @@
+"""Tests for repro.net.lpm (vectorized longest-prefix matching).
+
+The matchers back the batched emission hot path, so they are
+differential-tested against the per-packet oracles: the prefix trie for
+pure LPM semantics, and ``Deployment.route`` for the epoch-aware
+``route_batch`` data plane.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PrefixError
+from repro.net.addr import MAX_ADDR
+from repro.net.lpm import (NO_MATCH, IntervalRouteTable, MaskedPrefixMatcher,
+                           build_matcher, contains_mask, split_mask)
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+_MASK64 = (1 << 64) - 1
+
+
+def columns(addrs):
+    """An address list as (hi, lo) uint64 columns."""
+    hi = np.array([a >> 64 for a in addrs], dtype=np.uint64)
+    lo = np.array([a & _MASK64 for a in addrs], dtype=np.uint64)
+    return hi, lo
+
+
+@st.composite
+def prefixes(draw, max_length=128):
+    length = draw(st.integers(min_value=0, max_value=max_length))
+    network = draw(st.integers(min_value=0, max_value=MAX_ADDR))
+    return Prefix(network, length)  # the constructor masks host bits
+
+
+@st.composite
+def probe_addresses(draw, prefix_list):
+    """Addresses biased to land in and around the given prefixes."""
+    which = draw(st.integers(min_value=0, max_value=len(prefix_list)))
+    if which == len(prefix_list):
+        return draw(st.integers(min_value=0, max_value=MAX_ADDR))
+    prefix = prefix_list[which]
+    offset = draw(st.integers(min_value=0,
+                              max_value=prefix.num_addresses - 1))
+    return prefix.network | offset
+
+
+class TestSplitMask:
+    def test_full_length(self):
+        assert split_mask(128) == (_MASK64, _MASK64)
+
+    def test_zero_length(self):
+        assert split_mask(0) == (0, 0)
+
+    def test_boundary_64(self):
+        assert split_mask(64) == (_MASK64, 0)
+
+    def test_straddling(self):
+        hi, lo = split_mask(80)
+        assert hi == _MASK64
+        assert lo == 0xFFFF << 48
+
+    @pytest.mark.parametrize("length", [-1, 129])
+    def test_invalid_length_rejected(self, length):
+        with pytest.raises(PrefixError):
+            split_mask(length)
+
+
+class TestContainsMask:
+    @given(prefixes(), st.lists(st.integers(min_value=0, max_value=MAX_ADDR),
+                                min_size=1, max_size=30))
+    def test_matches_scalar_contains(self, prefix, addrs):
+        # mix in addresses guaranteed inside the prefix
+        addrs = addrs + [prefix.network,
+                         prefix.network | (prefix.num_addresses - 1)]
+        hi, lo = columns(addrs)
+        mask = contains_mask(prefix, hi, lo)
+        for addr, hit in zip(addrs, mask.tolist()):
+            assert hit == prefix.contains_address(addr)
+
+
+class TestMaskedPrefixMatcher:
+    @given(st.lists(prefixes(), min_size=1, max_size=8, unique=True),
+           st.data())
+    @settings(max_examples=60)
+    def test_matches_trie(self, prefix_list, data):
+        trie = PrefixTrie()
+        entries = []
+        for slot, prefix in enumerate(prefix_list):
+            trie.insert(prefix, slot)
+            entries.append((prefix, slot))
+        matcher = MaskedPrefixMatcher(entries)
+        addrs = data.draw(st.lists(probe_addresses(prefix_list),
+                                   min_size=1, max_size=30))
+        hi, lo = columns(addrs)
+        slots = matcher.lookup(hi, lo)
+        for addr, slot in zip(addrs, slots.tolist()):
+            match = trie.longest_match(addr)
+            assert slot == (NO_MATCH if match is None else match[1])
+
+    def test_most_specific_wins_regardless_of_order(self):
+        covering = Prefix.parse("3fff::/16")
+        specific = Prefix.parse("3fff:4000::/29")
+        for entries in ([(covering, 0), (specific, 1)],
+                        [(specific, 1), (covering, 0)]):
+            matcher = MaskedPrefixMatcher(entries)
+            hi, lo = columns([specific.network, covering.network])
+            assert matcher.lookup(hi, lo).tolist() == [1, 0]
+
+    def test_default_slot(self):
+        matcher = MaskedPrefixMatcher([(Prefix.parse("3fff::/16"), 7)],
+                                      default=-5)
+        hi, lo = columns([0])
+        assert matcher.lookup(hi, lo).tolist() == [-5]
+
+
+class TestIntervalRouteTable:
+    @given(st.lists(prefixes(max_length=64), min_size=1, max_size=8,
+                    unique=True),
+           st.data())
+    @settings(max_examples=60)
+    def test_matches_masked_matcher(self, prefix_list, data):
+        entries = list(enumerate(prefix_list))
+        entries = [(prefix, slot) for slot, prefix in entries]
+        interval = IntervalRouteTable(entries)
+        masked = MaskedPrefixMatcher(entries)
+        addrs = data.draw(st.lists(probe_addresses(prefix_list),
+                                   min_size=1, max_size=30))
+        hi, lo = columns(addrs)
+        assert interval.lookup(hi, lo).tolist() \
+            == masked.lookup(hi, lo).tolist()
+
+    def test_gap_between_prefixes_is_no_match(self):
+        table = IntervalRouteTable([(Prefix.parse("3fff:1000::/32"), 0),
+                                    (Prefix.parse("3fff:3000::/32"), 1)])
+        inside_a, gap, inside_b = (Prefix.parse("3fff:1000::/32").network | 5,
+                                   Prefix.parse("3fff:2000::/32").network,
+                                   Prefix.parse("3fff:3000::/32").network | 5)
+        hi, lo = columns([inside_a, gap, inside_b, 0, MAX_ADDR])
+        assert table.lookup(hi, lo).tolist() == [0, NO_MATCH, 1,
+                                                 NO_MATCH, NO_MATCH]
+
+    def test_nested_prefixes_most_specific_wins(self):
+        covering = Prefix.parse("3fff:4000::/29")
+        inner = Prefix.parse("3fff:4000:3::/48")
+        table = IntervalRouteTable([(covering, 0), (inner, 1)])
+        after_inner = inner.network + inner.num_addresses
+        hi, lo = columns([covering.network, inner.network, after_inner])
+        assert table.lookup(hi, lo).tolist() == [0, 1, 0]
+
+    def test_rejects_prefixes_deeper_than_64(self):
+        with pytest.raises(PrefixError):
+            IntervalRouteTable([(Prefix.parse("3fff::1/128"), 0)])
+
+    def test_ignores_lo_column(self):
+        prefix = Prefix.parse("3fff:1000::/32")
+        table = IntervalRouteTable([(prefix, 3)])
+        hi, _ = columns([prefix.network | 0xDEAD])
+        assert table.lookup(hi).tolist() == [3]
+
+
+class TestBuildMatcher:
+    def test_shallow_entries_get_interval_table(self):
+        matcher = build_matcher([(Prefix.parse("3fff::/16"), 0),
+                                 (Prefix.parse("3fff:1000::/32"), 1)])
+        assert isinstance(matcher, IntervalRouteTable)
+
+    def test_deep_entries_fall_back_to_masked(self):
+        matcher = build_matcher([(Prefix.parse("3fff::/16"), 0),
+                                 (Prefix.parse("3fff::42/127"), 1)])
+        assert isinstance(matcher, MaskedPrefixMatcher)
