@@ -1,0 +1,80 @@
+"""Robustness layer — checkpoint overhead and fault-path cost.
+
+The checkpoint manager must keep snapshot time inside its wall-clock
+overhead budget (default 5% of the simulate stage) by skipping
+over-budget boundaries, and the fault layer armed with an empty plan
+must leave the corpus byte-identical to a plain run.
+"""
+
+import os
+
+from conftest import print_comparison
+
+from repro.experiment import ExperimentConfig, run_experiment
+from repro.experiment.checkpoint import list_checkpoints
+from repro.experiment.store import corpus_digest
+from repro.faults import BlackoutWindow, FaultPlan
+
+
+def _config() -> ExperimentConfig:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+    return ExperimentConfig(seed=42, scale=scale)
+
+
+def test_checkpoint_overhead_within_budget(benchmark, tmp_path):
+    result = benchmark.pedantic(
+        run_experiment, args=(_config(),),
+        kwargs={"checkpoint_dir": tmp_path},
+        rounds=1, iterations=1)
+    simulate = result.stage_seconds["simulate"]
+    in_sim = result.stage_seconds["checkpoint"]
+    setup = result.stage_seconds["checkpoint_setup"]
+    pure = simulate - in_sim
+    print_comparison("Checkpoint overhead", [
+        ("setup snapshot", "one-time", f"{setup:.3f}s"),
+        ("simulate (pure)", "-", f"{pure:.3f}s"),
+        ("in-simulate snapshots", "< 5%",
+         f"{in_sim:.3f}s ({in_sim / pure:.2%})"),
+    ])
+    assert list_checkpoints(tmp_path), "no restart point on disk"
+    # the budget guard keeps snapshot time inside the simulate stage
+    # under 5% of the stage at the default cadence
+    assert in_sim <= 0.05 * pure
+
+
+def test_empty_fault_plan_is_free(benchmark, bench_result):
+    result = benchmark.pedantic(
+        run_experiment, args=(_config(),),
+        kwargs={"faults": FaultPlan()},
+        rounds=1, iterations=1)
+    base_sim = bench_result.stage_seconds["simulate"]
+    sim = result.stage_seconds["simulate"]
+    print_comparison("Empty fault plan", [
+        ("simulate vs base", "parity", f"{sim:.3f}s vs {base_sim:.3f}s"),
+        ("corpus", "byte-identical",
+         "match" if corpus_digest(result.corpus)
+         == corpus_digest(bench_result.corpus) else "DIVERGED"),
+    ])
+    assert corpus_digest(result.corpus) == corpus_digest(bench_result.corpus)
+
+
+def test_faulted_campaign_end_to_end(benchmark, bench_result):
+    config = _config()
+    plan = FaultPlan(
+        blackouts=(BlackoutWindow("T1", config.duration * 0.2,
+                                  config.duration * 0.3),),
+        loss_rate=0.01)
+    result = benchmark.pedantic(
+        run_experiment, args=(config,), kwargs={"faults": plan},
+        rounds=1, iterations=1)
+    base = bench_result.corpus.total_packets()
+    faulted = result.corpus.total_packets()
+    print_comparison("Faulted campaign", [
+        ("packets vs base", "reduced", f"{faulted:,} vs {base:,}"),
+        ("T1 coverage", "90%",
+         f"{result.corpus.covered_fraction('T1'):.1%}"),
+        ("install_faults stage", "cheap",
+         f"{result.stage_seconds['install_faults']:.3f}s"),
+    ])
+    assert faulted < base
+    assert result.corpus.coverage_gaps["T1"] == plan.blackouts_for("T1")

@@ -14,7 +14,11 @@ production throughput:
 - ``cold_analysis_legacy`` — the same work on the per-packet object
   path (kept as the correctness oracle);
 - ``tables`` — per-table generation (Tables 2-8) on a warm analysis,
-  fanned out over ``--jobs`` worker threads (default serial).
+  fanned out over ``--jobs`` worker threads (default serial);
+- ``robustness`` — the same campaign with crash-safe checkpointing at
+  the default cadence and budget, reporting the setup-snapshot cost and
+  the in-simulate snapshot overhead (which the budget guard must keep
+  under 5% of the simulate stage).
 
 The cold-analysis timings run with *no* recorder installed, so they
 measure the disabled-instrumentation path a production analysis sees.
@@ -34,6 +38,7 @@ import argparse
 import datetime
 import json
 import platform
+import tempfile
 import time
 from pathlib import Path
 
@@ -43,6 +48,7 @@ from repro.analysis.context import CorpusAnalysis
 from repro.analysis.parallel import fan_out
 from repro.core.aggregation import AggregationLevel
 from repro.experiment import ExperimentConfig, Phase, run_experiment
+from repro.experiment.checkpoint import list_checkpoints
 
 COLD_LEVELS = (AggregationLevel.ADDR, AggregationLevel.SUBNET)
 TABLES = {
@@ -92,6 +98,9 @@ def main() -> None:
     parser.add_argument("--skip-legacy", action="store_true",
                         help="skip the slow object/per-packet oracle "
                              "timings (analysis and emission)")
+    parser.add_argument("--skip-robustness", action="store_true",
+                        help="skip the checkpointed-build timing (one "
+                             "extra full campaign)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker threads for the table fan-out "
                              "(default 1: serial, per-table timings "
@@ -134,6 +143,31 @@ def main() -> None:
         print(f"  corpus: {legacy_result.corpus.total_packets()} packets "
               f"in {legacy_build_seconds:.2f}s (per-packet oracle)")
         del legacy_result
+
+    robustness = None
+    if not args.skip_robustness:
+        with tempfile.TemporaryDirectory() as ckdir:
+            ck_seconds, ck_result = time_call(
+                lambda: run_experiment(
+                    ExperimentConfig(seed=args.seed, scale=args.scale,
+                                     batch_emit=True),
+                    checkpoint_dir=ckdir))
+            kept = len(list_checkpoints(ckdir))
+        sim = ck_result.stage_seconds["simulate"]
+        in_sim = ck_result.stage_seconds["checkpoint"]
+        setup = ck_result.stage_seconds["checkpoint_setup"]
+        overhead = in_sim / max(sim - in_sim, 1e-9)
+        robustness = {
+            "checkpointed_build": round(ck_seconds, 4),
+            "checkpoint_setup": round(setup, 4),
+            "checkpoint_in_simulate": round(in_sim, 4),
+            "checkpoint_overhead_fraction": round(overhead, 4),
+            "checkpoints_kept": kept,
+        }
+        print(f"  checkpointed build: {ck_seconds:.2f}s (setup snapshot "
+              f"{setup:.2f}s, in-simulate overhead {overhead:.2%}, "
+              f"{kept} checkpoints kept)")
+        del ck_result
 
     columnar_seconds, columnar_sessions = cold_analysis(corpus, True)
     print(f"  cold analysis (columnar): first {columnar_seconds['first']:.3f}s"
@@ -196,6 +230,7 @@ def main() -> None:
             "tables": {k: round(v, 4) for k, v in table_seconds.items()},
         },
         "sessions": {"cold_total": columnar_sessions},
+        "robustness": robustness,
         "speedup_cold_analysis": {
             "first": round(legacy_seconds["first"]
                            / columnar_seconds["first"], 2),

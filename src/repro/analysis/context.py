@@ -23,8 +23,9 @@ from repro.core.netclass import classify_all as classify_network_all
 from repro.core.sessions import Session, SessionSet, sessionize
 from repro.core.temporal import TemporalClass
 from repro.core.temporal import classify_all as classify_temporal_all
+from repro.analysis.degrade import warn_degraded
 from repro.experiment.corpus import PacketCorpus
-from repro.experiment.phases import Phase
+from repro.experiment.phases import Phase, phase_bounds
 
 
 def _columnar_default() -> bool:
@@ -41,6 +42,38 @@ class CorpusAnalysis:
     _sessions: dict = field(default_factory=dict)
     _temporal: dict = field(default_factory=dict)
     _network: dict = field(default_factory=dict)
+
+    # -- coverage ------------------------------------------------------------
+
+    def has_gaps(self) -> bool:
+        """True when any telescope's capture has coverage gaps."""
+        return self.corpus.has_gaps()
+
+    def covered_fraction(self, telescope: str, phase: Phase = Phase.FULL) \
+            -> float:
+        """Fraction of a phase the telescope was actually capturing."""
+        start, end = phase_bounds(self.corpus.config, phase)
+        return self.corpus.covered_fraction(telescope, start, end)
+
+    def warn_if_degraded(self, artifact: str) -> bool:
+        """Emit one :class:`DegradationWarning` per gapped telescope.
+
+        Returns True when the corpus has gaps, so artifact generators can
+        switch to gap-normalized output in one call.
+        """
+        degraded = False
+        for telescope, windows in self.corpus.coverage_gaps.items():
+            if not windows:
+                continue
+            degraded = True
+            down = sum(end - start for start, end in windows)
+            warn_degraded(
+                f"{artifact}: {telescope} capture has "
+                f"{len(windows)} coverage gap(s) totalling {down:.0f}s; "
+                f"output is normalized by covered time",
+                artifact=artifact, telescope=telescope,
+                reason="coverage_gap")
+        return degraded
 
     # -- sessions ------------------------------------------------------------
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.context import CorpusAnalysis
+from repro.analysis.degrade import warn_degraded
 from repro.obs import traced
 from repro.core.addrclass import AddressClass, classify_session
 from repro.core.aggregation import AggregationLevel
@@ -103,7 +104,18 @@ def fig4(analysis: CorpusAnalysis) -> Fig4Result:
                       for p in analysis.corpus.phase_packets(t, Phase.FULL)),
                      key=lambda p: p.time)
     if not packets:
-        raise AnalysisError("empty corpus")
+        if not analysis.has_gaps():
+            raise AnalysisError("empty corpus")
+        # every capture was dark: degrade to a well-defined flat result
+        warn_degraded("fig4: all captures empty due to coverage gaps; "
+                      "emitting zero series", artifact="fig4",
+                      reason="coverage_gap")
+        duration = analysis.corpus.config.duration
+        weeks = list(range(int(duration / WEEK) + 1))
+        return Fig4Result(weeks=weeks, series={
+            name: [0.0] * len(weeks)
+            for name in ("packets", "asns", "sources_128", "sources_64",
+                         "sessions_128", "sessions_64")})
     duration = analysis.corpus.config.duration
     weeks = list(range(int(duration / WEEK) + 1))
     counters = {
@@ -279,25 +291,47 @@ def fig8(analysis: CorpusAnalysis) -> Fig8Result:
 @dataclass
 class Fig9Result:
     weekly: dict[str, list[int]]
+    #: per-telescope, per-week fraction of the week the capture was up
+    #: (all 1.0 for a gap-free corpus).
+    coverage: dict[str, list[float]] = field(default_factory=dict)
+    #: session counts scaled to full-coverage equivalents
+    #: (``weekly / coverage``; a fully dark week stays 0).
+    normalized: dict[str, list[float]] = field(default_factory=dict)
 
     def render(self) -> str:
         lines = ["Fig 9: weekly scan sessions (initial period)"]
         for telescope, series in self.weekly.items():
             lines.append(f"  {telescope}: {series}")
+            coverage = self.coverage.get(telescope)
+            if coverage and min(coverage) < 1.0:
+                scaled = [round(v, 1) for v in self.normalized[telescope]]
+                lines.append(f"  {telescope} (gap-normalized): {scaled}")
         return "\n".join(lines)
 
 
 @traced("analysis.fig9")
 def fig9(analysis: CorpusAnalysis) -> Fig9Result:
     weeks = int(analysis.corpus.config.split_start / WEEK)
+    analysis.warn_if_degraded("fig9")
     weekly: dict[str, list[int]] = {}
+    coverage: dict[str, list[float]] = {}
+    normalized: dict[str, list[float]] = {}
     for telescope in TELESCOPES:
         series = [0] * weeks
         for session in analysis.sessions(telescope, AggregationLevel.ADDR,
                                          Phase.INITIAL):
             series[min(int(session.start // WEEK), weeks - 1)] += 1
         weekly[telescope] = series
-    return Fig9Result(weekly=weekly)
+        fractions = [
+            analysis.corpus.covered_fraction(telescope, w * WEEK,
+                                             (w + 1) * WEEK)
+            for w in range(weeks)]
+        coverage[telescope] = fractions
+        normalized[telescope] = [
+            count / fraction if fraction > 0.0 else 0.0
+            for count, fraction in zip(series, fractions)]
+    return Fig9Result(weekly=weekly, coverage=coverage,
+                      normalized=normalized)
 
 
 # -- Fig. 10: cumulative sessions per announced prefix ------------------------
@@ -444,7 +478,13 @@ def fig13(analysis: CorpusAnalysis, min_packets: int = 100) -> NibbleMatrix:
     """Fig. 12(a)'s session sorted lexicographically (Fig. 13)."""
     result = fig12(analysis, min_packets)
     if result.structured is None:
-        raise AnalysisError("no structured session with enough packets")
+        if not analysis.has_gaps():
+            raise AnalysisError("no structured session with enough packets")
+        warn_degraded("fig13: no structured session survived the coverage "
+                      "gaps; emitting an empty matrix", artifact="fig13",
+                      reason="coverage_gap")
+        return NibbleMatrix(source=0,
+                            nibbles=np.zeros((0, 32), dtype=np.uint8))
     return result.structured.sorted_lexicographically()
 
 

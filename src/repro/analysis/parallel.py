@@ -6,6 +6,12 @@ is NumPy column work that releases the GIL — so a small thread pool
 overlaps them effectively. Each task runs inside an ``analysis.fanout``
 span carrying the task name; the tracer keeps per-thread span stacks, so
 attribution survives the pool (spans record their thread id).
+
+A crashing task is retried once after a short backoff (transient
+failures — a figure racing a cache fill, an OS hiccup — usually clear on
+the second attempt), and if the retry also fails the task runs once more
+serially outside the pool before its exception propagates. Each recovery
+step bumps an ``analysis.fanout_*`` counter so flakes are visible.
 """
 
 from __future__ import annotations
@@ -17,6 +23,9 @@ from typing import Callable, Mapping
 from repro import obs
 from repro.errors import AnalysisError
 
+#: seconds slept before the in-pool retry of a crashed task.
+RETRY_BACKOFF = 0.05
+
 
 def fan_out(tasks: Mapping[str, Callable[[], object]],
             jobs: int = 1) -> dict[str, tuple[float, object]]:
@@ -24,21 +33,47 @@ def fan_out(tasks: Mapping[str, Callable[[], object]],
 
     Returns ``{name: (seconds, result)}`` in the tasks' insertion order
     regardless of completion order, so callers render deterministically.
-    A failing task propagates its exception after the pool drains.
+    A task that keeps failing after one bounded retry and a final serial
+    fallback propagates its last exception.
     """
     if jobs < 1:
         raise AnalysisError(f"jobs must be >= 1, got {jobs}")
 
-    def run_one(name: str, fn: Callable[[], object]) \
+    def run_once(name: str, fn: Callable[[], object], attempt: int) \
             -> tuple[float, object]:
         started = time.perf_counter()
-        with obs.span("analysis.fanout", task=name, jobs=jobs):
+        with obs.span("analysis.fanout", task=name, jobs=jobs,
+                      attempt=attempt):
             result = fn()
         return time.perf_counter() - started, result
 
+    def run_with_retry(name: str, fn: Callable[[], object]) \
+            -> tuple[float, object]:
+        try:
+            return run_once(name, fn, attempt=1)
+        except Exception:
+            obs.add("analysis.fanout_retries_total", task=name)
+            time.sleep(RETRY_BACKOFF)
+            return run_once(name, fn, attempt=2)
+
     if jobs == 1 or len(tasks) <= 1:
-        return {name: run_one(name, fn) for name, fn in tasks.items()}
+        return {name: run_with_retry(name, fn)
+                for name, fn in tasks.items()}
+
     with ThreadPoolExecutor(max_workers=jobs) as pool:
-        futures = {name: pool.submit(run_one, name, fn)
+        futures = {name: pool.submit(run_with_retry, name, fn)
                    for name, fn in tasks.items()}
-        return {name: future.result() for name, future in futures.items()}
+        results: dict[str, tuple[float, object]] = {}
+        failed: dict[str, Callable[[], object]] = {}
+        for name, future in futures.items():
+            try:
+                results[name] = future.result()
+            except Exception:
+                failed[name] = tasks[name]
+    for name, fn in failed.items():
+        # last resort: run the crashed task serially, outside the pool,
+        # so one bad thread interaction cannot sink the whole fan-out
+        obs.add("analysis.fanout_serial_fallbacks_total", task=name)
+        results[name] = run_once(name, fn, attempt=3)
+    # re-impose insertion order after fallbacks appended at the end
+    return {name: results[name] for name in tasks}

@@ -8,7 +8,7 @@ for printing. Table 1 is a literature survey and has no generator.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -202,11 +202,16 @@ class Table5Result:
     protocol_sources: dict[str, dict[Protocol, int]]
     table_a: Table
     table_b: Table
+    #: fraction of the initial period each capture was up (1.0 = gapless)
+    coverage: dict[str, float] = field(default_factory=dict)
+    #: raw packet counts scaled to full-coverage equivalents
+    packets_normalized: dict[str, float] = field(default_factory=dict)
 
 
 @traced("analysis.table5")
 def table5(analysis: CorpusAnalysis) -> Table5Result:
     """Table 5: telescope comparison before the split period."""
+    degraded = analysis.warn_if_degraded("table5")
     sources_128: dict[str, int] = {}
     sources_64: dict[str, int] = {}
     asns: dict[str, int] = {}
@@ -236,6 +241,19 @@ def table5(analysis: CorpusAnalysis) -> Table5Result:
                         ("Packets", packets)):
         table_a.add_row(label, *(format_count(data[t]) for t in TELESCOPES))
 
+    coverage = {t: analysis.covered_fraction(t, Phase.INITIAL)
+                for t in TELESCOPES}
+    packets_normalized = {
+        t: packets[t] / coverage[t] if coverage[t] > 0.0 else 0.0
+        for t in TELESCOPES}
+    if degraded:
+        # gap-aware rows so partial captures stay comparable
+        table_a.add_row("Covered time",
+                        *(format_share(coverage[t]) for t in TELESCOPES))
+        table_a.add_row("Packets (normalized)",
+                        *(format_count(int(round(packets_normalized[t])))
+                          for t in TELESCOPES))
+
     table_b = Table(
         title="Table 5(b): distinct sources per protocol, initial period",
         columns=["Protocol", "T1 #", "T1 %", "T2 #", "T2 %",
@@ -252,7 +270,8 @@ def table5(analysis: CorpusAnalysis) -> Table5Result:
         sources_128=sources_128, sources_64=sources_64, asns=asns,
         destinations=destinations, packets=packets,
         protocol_sources=protocol_sources,
-        table_a=table_a, table_b=table_b)
+        table_a=table_a, table_b=table_b,
+        coverage=coverage, packets_normalized=packets_normalized)
 
 
 # -- Table 6 ---------------------------------------------------------------------------------

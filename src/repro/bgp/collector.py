@@ -9,6 +9,7 @@ configurable publication delay modeling feed latency.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable
 
 from repro.bgp.messages import Announcement, UpdateKind, Withdrawal
@@ -70,7 +71,7 @@ class RouteCollector:
         publish_at = time + self.feed_delay
         self.simulator.schedule_at(
             max(publish_at, self.simulator.now),
-            lambda: self._publish(publish_at, entry),
+            partial(self._publish, publish_at, entry),
             label=f"collector:{update.kind.value}:{update.prefix}",
         )
 

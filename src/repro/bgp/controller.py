@@ -17,6 +17,7 @@ yields the asymmetric ladder /33, /34, ..., /47, 2×/48.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable
 
 from repro import obs
@@ -134,12 +135,12 @@ class SplitController:
         for cycle in self.schedule:
             self.simulator.schedule_at(
                 cycle.announce_time,
-                lambda c=cycle: self._announce(c),
+                partial(self._announce, cycle),
                 label=f"split:announce:{cycle.index}",
             )
             self.simulator.schedule_at(
                 cycle.withdraw_time,
-                lambda c=cycle: self._withdraw(c),
+                partial(self._withdraw, cycle),
                 label=f"split:withdraw:{cycle.index}",
             )
 

@@ -17,6 +17,7 @@ Import policy optionally validates routes against the IRR database
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -258,9 +259,14 @@ class BGPNetwork:
         self._last_arrival[link] = arrival
         self.simulator.schedule_at(
             arrival,
-            lambda: self.speakers[receiver].receive(sender, update),
+            partial(self._arrive, receiver, sender, update),
             label=f"bgp:{sender}->{receiver}",
         )
+
+    def _arrive(self, receiver: int, sender: int,
+                update: Announcement | Withdrawal) -> None:
+        """Deliver a propagated update (picklable event callback)."""
+        self.speakers[receiver].receive(sender, update)
 
     def converge(self, settle: float = 600.0) -> None:
         """Run the simulator forward until in-flight updates settle.

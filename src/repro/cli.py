@@ -20,7 +20,7 @@ from repro.analysis.parallel import fan_out
 from repro.analysis.tables import (table2, table3, table4, table5, table6,
                                    table7, table8)
 from repro.bgp.controller import build_split_schedule
-from repro.errors import ReproError
+from repro.errors import ExperimentError, ReproError
 from repro.experiment import ExperimentConfig, run_experiment
 from repro.net.prefix import Prefix
 from repro.sim.clock import WEEK
@@ -76,6 +76,26 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--seed", type=int, default=42)
         cmd.add_argument("--scale", type=float, default=0.1,
                          help="population scale (default 0.1)")
+        cmd.add_argument("--faults", metavar="PLAN.json", default=None,
+                         help="arm a fault-injection plan (blackouts, "
+                              "BGP flaps, packet loss) from a JSON file")
+        cmd.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                         help="write crash-safe checkpoints to this "
+                              "directory while simulating")
+        cmd.add_argument("--checkpoint-every", metavar="SIMSECS",
+                         type=float, default=None,
+                         help="sim-time between checkpoints "
+                              "(default: one simulated week)")
+        cmd.add_argument("--checkpoint-budget", metavar="FRAC",
+                         type=float, default=0.05,
+                         help="cap checkpoint overhead at this fraction "
+                              "of wall time, skipping boundaries over "
+                              "budget (default 0.05; 0 writes every "
+                              "boundary)")
+        cmd.add_argument("--resume", action="store_true",
+                         help="continue from the newest valid checkpoint "
+                              "in --checkpoint-dir instead of starting "
+                              "fresh")
         _add_obs_flags(cmd)
         if name in ("tables", "figures"):
             cmd.add_argument("--jobs", type=int, default=1,
@@ -91,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
     load = sub.add_parser("load",
                           help="load a saved corpus and print Tables 2-8")
     load.add_argument("path", help="corpus directory written by 'save'")
+    load.add_argument("--lenient", action="store_true",
+                      help="quarantine corrupt segments (load them empty "
+                           "with a coverage gap) instead of failing")
     _add_obs_flags(load)
     return parser
 
@@ -108,11 +131,30 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _simulate(args: argparse.Namespace):
-    config = ExperimentConfig(seed=args.seed, scale=args.scale)
-    weeks = config.duration / WEEK
-    log.info("simulating %.0f weeks at scale %s (seed %s) ...",
-             weeks, args.scale, args.seed)
-    result = run_experiment(config)
+    from repro.experiment.driver import resume_experiment
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if getattr(args, "resume", False):
+        if not checkpoint_dir:
+            raise ExperimentError("--resume requires --checkpoint-dir")
+        log.info("resuming from checkpoints in %s ...", checkpoint_dir)
+        result = resume_experiment(checkpoint_dir)
+    else:
+        config = ExperimentConfig(seed=args.seed, scale=args.scale)
+        faults = None
+        if getattr(args, "faults", None):
+            from repro.faults import FaultPlan
+            faults = FaultPlan.from_file(args.faults)
+            log.info("armed fault plan %s (%d blackouts, %d flaps, "
+                     "loss %.3g)", args.faults, len(faults.blackouts),
+                     len(faults.flaps), faults.loss_rate)
+        weeks = config.duration / WEEK
+        log.info("simulating %.0f weeks at scale %s (seed %s) ...",
+                 weeks, args.scale, args.seed)
+        budget = getattr(args, "checkpoint_budget", 0.05)
+        result = run_experiment(
+            config, faults=faults, checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=getattr(args, "checkpoint_every", None),
+            checkpoint_budget=budget if budget > 0 else None)
     log.info("done in %.1fs: %s packets",
              result.wall_seconds, f"{result.corpus.total_packets():,}")
     return result
@@ -131,6 +173,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"stages ({total:.1f}s of {result.wall_seconds:.1f}s):")
     for stage, seconds in result.stage_seconds.items():
         print(f"  {stage:<20} {seconds:8.2f}s")
+    if corpus.has_gaps():
+        print("coverage gaps:")
+        for telescope, windows in sorted(corpus.coverage_gaps.items()):
+            spans = ", ".join(f"[{s:.0f}, {e:.0f})" for s, e in windows)
+            print(f"  {telescope}: {spans} "
+                  f"({corpus.covered_fraction(telescope):.1%} covered)")
     return 0
 
 
@@ -203,7 +251,7 @@ def cmd_save(args: argparse.Namespace) -> int:
 
 def cmd_load(args: argparse.Namespace) -> int:
     from repro.experiment.store import load_corpus
-    corpus = load_corpus(args.path)
+    corpus = load_corpus(args.path, strict=not args.lenient)
     log.info("loaded %s packets from %s",
              f"{corpus.total_packets():,}", args.path)
     _print_tables(CorpusAnalysis(corpus))

@@ -35,6 +35,28 @@ class ExperimentError(ReproError):
     """Experiment configuration or orchestration is inconsistent."""
 
 
+class FaultError(ReproError):
+    """A fault-injection plan is malformed or cannot be installed."""
+
+
+class StoreError(ReproError):
+    """Persisted data (corpus segment, checkpoint) is missing or corrupt.
+
+    Carries the offending path and the check that failed, so operators can
+    locate and quarantine the bad file instead of decoding a raw numpy or
+    OS traceback.
+    """
+
+    def __init__(self, message: str, *, path=None, check: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+        self.check = check
+
+
+class CheckpointError(StoreError):
+    """A checkpoint file failed its integrity or format checks."""
+
+
 class AnalysisError(ReproError):
     """An analysis was invoked on unsuitable data (e.g. empty corpus)."""
 

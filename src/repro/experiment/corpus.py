@@ -45,6 +45,12 @@ class PacketCorpus:
     t4_prefix: Prefix
     attractor_addr: int = 0
     tables_by_telescope: dict[str, PacketTable] = field(default_factory=dict)
+    #: per-telescope capture outages as sorted (start, end) windows — from
+    #: fault-injected blackouts or segments quarantined on load. Analyses
+    #: use :meth:`covered_fraction` to normalize by covered time instead
+    #: of assuming the telescope saw the whole run.
+    coverage_gaps: dict[str, tuple[tuple[float, float], ...]] = field(
+        default_factory=dict)
     _phase_cache: dict = field(default_factory=dict)
     _phase_table_cache: dict = field(default_factory=dict)
 
@@ -120,6 +126,35 @@ class PacketCorpus:
                 cached = table.slice_time(start, end)
             self._phase_table_cache[key] = cached
         return cached
+
+    # -- coverage -----------------------------------------------------------
+
+    def has_gaps(self) -> bool:
+        return any(self.coverage_gaps.values())
+
+    def gap_seconds(self, telescope: str, start: float = 0.0,
+                    end: float | None = None) -> float:
+        """Seconds of [start, end) the telescope's capture was down."""
+        if end is None:
+            end = self.config.duration
+        total = 0.0
+        for gap_start, gap_end in self.coverage_gaps.get(telescope, ()):
+            total += max(0.0, min(end, gap_end) - max(start, gap_start))
+        return total
+
+    def covered_fraction(self, telescope: str, start: float = 0.0,
+                         end: float | None = None) -> float:
+        """Fraction of [start, end) the telescope was actually capturing.
+
+        1.0 for a gap-free capture; 0.0 when the whole interval (or an
+        empty interval) fell inside outages.
+        """
+        if end is None:
+            end = self.config.duration
+        span = end - start
+        if span <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.gap_seconds(telescope, start, end) / span)
 
     # -- schedule helpers ------------------------------------------------------
 

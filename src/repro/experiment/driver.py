@@ -18,12 +18,16 @@ otherwise a private throwaway tracer measures the same stages so
 
 from __future__ import annotations
 
+import math
 import time as _time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro import obs
+from repro.experiment import checkpoint as ckpt
 from repro.experiment.config import ExperimentConfig
 from repro.experiment.corpus import PacketCorpus
+from repro.faults import FaultInjector, FaultPlan
 from repro.scanners.base import (Scanner, ScannerContext, SourceModel,
                                  batch_emit_default)
 from repro.scanners.population import (PopulationInputs, build_population)
@@ -62,14 +66,47 @@ class ExperimentResult:
 
 
 #: Stage names, in execution order, as they appear in ``stage_seconds``
-#: and as ``driver.<stage>`` tracing spans.
+#: and as ``driver.<stage>`` tracing spans. When a fault plan is armed an
+#: extra ``install_faults`` stage runs (and is timed) between
+#: ``schedule_scanners`` and ``simulate``.
 STAGES = ("build_deployment", "build_population", "schedule_scanners",
           "simulate", "flush_batches", "package_corpus")
 
+#: Default sim-time between checkpoints: one simulated week.
+DEFAULT_CHECKPOINT_INTERVAL = 7 * 86400.0
+
+#: Default wall-clock overhead budget for checkpointing: snapshot writes
+#: may consume at most this fraction of the run's wall time; boundaries
+#: that would exceed it are skipped (the corpus is unaffected — only the
+#: set of persisted restart points shrinks).
+DEFAULT_CHECKPOINT_BUDGET = 0.05
+
+_log = obs.log.get_logger("driver")
+
 
 def run_experiment(config: ExperimentConfig | None = None,
-                   registry: ASRegistry | None = None) -> ExperimentResult:
-    """Run one full measurement campaign and return its result."""
+                   registry: ASRegistry | None = None,
+                   faults: FaultInjector | FaultPlan | None = None,
+                   checkpoint_dir: str | Path | None = None,
+                   checkpoint_interval: float | None = None,
+                   checkpoint_keep: int = 2,
+                   checkpoint_budget: float | None = DEFAULT_CHECKPOINT_BUDGET,
+                   after_checkpoint=None) -> ExperimentResult:
+    """Run one full measurement campaign and return its result.
+
+    ``faults`` arms a :class:`repro.faults.FaultPlan` (or a prebuilt
+    injector) on the deployment before the simulation starts; an empty
+    plan leaves the run byte-identical to a fault-free one.
+
+    ``checkpoint_dir`` enables crash-safe snapshots every
+    ``checkpoint_interval`` simulated seconds (default one week); a
+    killed run continues from the newest valid snapshot via
+    :func:`resume_experiment` and produces a corpus identical to the
+    uninterrupted run. ``checkpoint_budget`` caps snapshot overhead at
+    that fraction of wall time (boundaries over budget are skipped;
+    ``None`` writes every boundary). ``after_checkpoint`` is called with
+    each written path (test hook).
+    """
     started = _time.monotonic()
     if config is None:
         config = ExperimentConfig()
@@ -96,7 +133,7 @@ def run_experiment(config: ExperimentConfig | None = None,
 
         inputs = PopulationInputs(
             schedule=deployment.cycles(),
-            announced=lambda: deployment.announced_t1_prefixes(),
+            announced=deployment.announced_t1_prefixes,
             t1_prefix=T1_PREFIX,
             t2_prefix=T2_PREFIX,
             t3_prefix=T3_PREFIX,
@@ -127,50 +164,182 @@ def run_experiment(config: ExperimentConfig | None = None,
                 scanner.start(context)
         stage_seconds["schedule_scanners"] = sp.duration
 
-        if recorder is not None:
-            recorder.attach(deployment.simulator, config.duration)
-        try:
-            with tracer.span("driver.simulate",
-                             horizon=config.duration) as sp:
+        injector: FaultInjector | None = None
+        if faults is not None:
+            injector = faults if isinstance(faults, FaultInjector) \
+                else FaultInjector(faults, seed=config.seed)
+            with tracer.span("driver.install_faults") as sp:
+                injector.install(deployment)
+            stage_seconds["install_faults"] = sp.duration
+
+        manager: ckpt.CheckpointManager | None = None
+        if checkpoint_dir is not None:
+            manager = ckpt.CheckpointManager(
+                Path(checkpoint_dir),
+                checkpoint_interval or DEFAULT_CHECKPOINT_INTERVAL,
+                keep=checkpoint_keep, after_write=after_checkpoint,
+                overhead_budget=checkpoint_budget)
+            # initial restart point, outside the simulate stage: resume
+            # skips the build stages entirely, and its measured cost
+            # seeds the overhead-budget projection for the simulate loop
+            with tracer.span("driver.checkpoint_setup") as sp:
+                _write_snapshot(config, registry, deployment, population,
+                                context, injector, manager, stage_seconds)
+            stage_seconds["checkpoint_setup"] = sp.duration
+
+        return _finish_run(config, registry, deployment, population,
+                           context, injector, manager, stage_seconds,
+                           tracer, recorder, started)
+
+
+def resume_experiment(checkpoint_dir: str | Path,
+                      after_checkpoint=None) -> ExperimentResult:
+    """Continue a killed campaign from its newest valid checkpoint.
+
+    Restores the whole simulation graph (clock, pending events, RNG
+    streams, partial captures, deferred batches) and runs it to the
+    horizon, continuing to checkpoint at the original cadence. The
+    resulting corpus is byte-identical to the one an uninterrupted run
+    would have produced.
+    """
+    started = _time.monotonic()
+    path, state = ckpt.latest_checkpoint(checkpoint_dir)
+    config = state["config"]
+    deployment = state["deployment"]
+    recorder = obs.current()
+    tracer = recorder.tracer if recorder is not None else obs.Tracer()
+    manager = ckpt.CheckpointManager(
+        Path(checkpoint_dir),
+        state.get("checkpoint_interval", DEFAULT_CHECKPOINT_INTERVAL),
+        keep=state.get("checkpoint_keep", 2),
+        after_write=after_checkpoint,
+        overhead_budget=state.get("checkpoint_budget",
+                                  DEFAULT_CHECKPOINT_BUDGET))
+    manager.seed_cost(state.get("checkpoint_last_cost", 0.0))
+    obs.add("checkpoint.resumes_total")
+    _log.info("resuming from %s at t=%.0f (horizon %.0f)", path.name,
+              deployment.simulator.now, config.duration)
+    with tracer.span("driver.resume_experiment",
+                     sim_time=deployment.simulator.now,
+                     checkpoint=path.name):
+        return _finish_run(config, state["registry"], deployment,
+                           state["population"], state["context"],
+                           state.get("faults"), manager,
+                           dict(state.get("stage_seconds", {})),
+                           tracer, recorder, started)
+
+
+def _finish_run(config, registry, deployment, population, context,
+                injector, manager, stage_seconds, tracer, recorder,
+                started) -> ExperimentResult:
+    """Simulate to the horizon, flush, and package — shared by fresh
+    runs and resumed ones."""
+    batch_emit = context.batch_emit
+    if recorder is not None:
+        recorder.attach(deployment.simulator, config.duration)
+    try:
+        with tracer.span("driver.simulate", horizon=config.duration) as sp:
+            if manager is None:
                 deployment.simulator.run_until(config.duration)
-        finally:
-            if recorder is not None:
-                recorder.detach(deployment.simulator)
-        stage_seconds["simulate"] = sp.duration
+            else:
+                _simulate_with_checkpoints(
+                    config, registry, deployment, population, context,
+                    injector, manager, stage_seconds)
+    finally:
+        if recorder is not None:
+            recorder.detach(deployment.simulator)
+    stage_seconds["simulate"] = \
+        stage_seconds.get("simulate", 0.0) + sp.duration
+    if manager is not None:
+        # wall seconds spent on snapshots inside the simulate stage
+        # (included in the simulate figure above); the overhead budget
+        # keeps this share small
+        stage_seconds["checkpoint"] = manager.window_spent
 
-        if batch_emit:
-            # sessions only *resolved* during the run materialize now, one
-            # cross-session kernel call per scanner
-            with tracer.span("driver.flush_batches") as sp:
-                context.flush_batches()
-            stage_seconds["flush_batches"] = sp.duration
+    if batch_emit:
+        # sessions only *resolved* during the run materialize now, one
+        # cross-session kernel call per scanner
+        with tracer.span("driver.flush_batches") as sp:
+            context.flush_batches()
+        stage_seconds["flush_batches"] = sp.duration
 
-        with tracer.span("driver.package_corpus") as sp:
-            # batch runs package columns only — Packet objects materialize
-            # lazily if an analysis asks for them
-            packets_by = None if batch_emit else {
-                name: telescope.capture.packets()
-                for name, telescope in deployment.telescopes.items()}
-            corpus = PacketCorpus(
-                config=config,
-                packets_by_telescope=packets_by,
-                tables_by_telescope={
-                    name: telescope.capture.table()
-                    for name, telescope in deployment.telescopes.items()},
-                schedule=deployment.cycles(),
-                registry=registry,
-                resolver=deployment.resolver,
-                t1_prefix=T1_PREFIX,
-                t2_prefix=T2_PREFIX,
-                t3_prefix=T3_PREFIX,
-                t4_prefix=T4_PREFIX,
-                attractor_addr=deployment.productive.attractor_addr)
-        stage_seconds["package_corpus"] = sp.duration
+    with tracer.span("driver.package_corpus") as sp:
+        # batch runs package columns only — Packet objects materialize
+        # lazily if an analysis asks for them
+        packets_by = None if batch_emit else {
+            name: telescope.capture.packets()
+            for name, telescope in deployment.telescopes.items()}
+        corpus = PacketCorpus(
+            config=config,
+            packets_by_telescope=packets_by,
+            tables_by_telescope={
+                name: telescope.capture.table()
+                for name, telescope in deployment.telescopes.items()},
+            schedule=deployment.cycles(),
+            registry=registry,
+            resolver=deployment.resolver,
+            t1_prefix=T1_PREFIX,
+            t2_prefix=T2_PREFIX,
+            t3_prefix=T3_PREFIX,
+            t4_prefix=T4_PREFIX,
+            attractor_addr=deployment.productive.attractor_addr,
+            coverage_gaps={
+                name: tuple(telescope.capture.blackout_windows)
+                for name, telescope in deployment.telescopes.items()
+                if telescope.capture.blackout_windows})
+    stage_seconds["package_corpus"] = sp.duration
 
     return ExperimentResult(
         corpus=corpus, deployment=deployment, population=population,
         context=context, wall_seconds=_time.monotonic() - started,
         stage_seconds=stage_seconds)
+
+
+def _simulate_with_checkpoints(config, registry, deployment, population,
+                               context, injector, manager,
+                               stage_seconds) -> None:
+    """Run to the horizon in checkpoint-interval chunks.
+
+    Chunking never reorders events — the queue's (time, seq) heap order
+    is global — so a checkpointed run executes the exact same event
+    sequence as a single ``run_until`` to the horizon. Snapshots land on
+    interval multiples; none is written at the horizon itself (the run
+    is already complete there).
+
+    Boundaries the overhead budget rejects are skipped (counted as
+    ``checkpoint.skipped_total``); a skip only thins the set of restart
+    points, never the event sequence.
+    """
+    simulator = deployment.simulator
+    duration = config.duration
+    interval = manager.interval
+    manager.begin_budget_window()
+    wall_start = _time.perf_counter()
+    while True:
+        boundary = interval * (math.floor(simulator.now / interval) + 1)
+        target = min(duration, boundary)
+        simulator.run_until(target)
+        if target >= duration:
+            return
+        if not manager.should_write(_time.perf_counter() - wall_start):
+            obs.add("checkpoint.skipped_total")
+            continue
+        _write_snapshot(config, registry, deployment, population,
+                        context, injector, manager, stage_seconds)
+
+
+def _write_snapshot(config, registry, deployment, population, context,
+                    injector, manager, stage_seconds) -> None:
+    """Persist the live graph plus the manager's resume metadata."""
+    with ckpt.pickling_guard(deployment):
+        state = ckpt.build_state(config, registry, deployment,
+                                 population, context, stage_seconds)
+        state["faults"] = injector
+        state["checkpoint_interval"] = manager.interval
+        state["checkpoint_keep"] = manager.keep
+        state["checkpoint_budget"] = manager.overhead_budget
+        state["checkpoint_last_cost"] = manager._last_cost
+        manager.write(state, deployment.simulator.now)
 
 
 def _register_rdns(deployment: Deployment, scanner: Scanner) -> None:

@@ -5,24 +5,37 @@ analyses can run on a previously simulated (or externally produced)
 capture without re-running the simulation:
 
 - ``meta.json`` — config, announcement schedule, AS registry records,
-  RDNS entries, telescope prefixes;
+  RDNS entries, telescope prefixes, coverage gaps, and a sha256 per
+  segment file;
 - ``packets_<T>.npz`` — columnar packet arrays per telescope (128-bit
   addresses as two uint64 halves; payloads as one concatenated blob with
   offsets).
+
+Loading verifies each segment against its recorded checksum and wraps
+every on-disk failure (missing file, truncation, bit flips, unreadable
+zip) in :class:`repro.errors.StoreError` carrying the path and the
+failed check. ``load_corpus(..., strict=False)`` quarantines a broken
+segment instead: the telescope comes back empty, its whole run is marked
+as a coverage gap, and a :class:`DegradationWarning` is emitted so
+downstream tables normalize rather than crash.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
+from repro import obs
+from repro.analysis.degrade import warn_degraded
 from repro.bgp.controller import AnnouncementCycle
 from repro.core.columnar import PacketTable
 from repro.dns.resolver import Resolver
 from repro.dns.zone import Zone
-from repro.errors import AnalysisError
+from repro.errors import StoreError
 from repro.experiment.config import ExperimentConfig
 from repro.experiment.corpus import PacketCorpus, TELESCOPE_NAMES
 from repro.net.prefix import Prefix
@@ -36,18 +49,22 @@ def save_corpus(corpus: PacketCorpus, path: str | Path) -> Path:
     directory = Path(path)
     directory.mkdir(parents=True, exist_ok=True)
 
+    checksums: dict[str, str] = {}
     for telescope in TELESCOPE_NAMES:
         # the columnar table IS the on-disk layout: its arrays are written
         # directly, with no per-packet Python loop
         table = corpus.table(telescope)
         payload_offsets, blob = table.payload_blob()
+        segment = directory / f"packets_{telescope}.npz"
         np.savez_compressed(
-            directory / f"packets_{telescope}.npz",
+            segment,
             time=table.time, src_hi=table.src_hi, src_lo=table.src_lo,
             dst_hi=table.dst_hi, dst_lo=table.dst_lo,
             proto=table.protocol, port=table.dst_port,
             asn=table.src_asn, scanner=table.scanner_id,
             payload_offsets=payload_offsets, payload_blob=blob)
+        checksums[telescope] = hashlib.sha256(
+            segment.read_bytes()).hexdigest()
 
     # the resolver only answers point queries, so RDNS entries are
     # persisted for every observed source address
@@ -99,21 +116,39 @@ def save_corpus(corpus: PacketCorpus, path: str | Path) -> Path:
             "t4": str(corpus.t4_prefix),
         },
         "attractor_addr": str(corpus.attractor_addr),
+        "checksums": checksums,
+        "coverage_gaps": {
+            name: [[start, end] for start, end in windows]
+            for name, windows in corpus.coverage_gaps.items()},
     }
     (directory / "meta.json").write_text(json.dumps(meta, indent=1))
     return directory
 
 
-def load_corpus(path: str | Path) -> PacketCorpus:
-    """Load a corpus previously written by :func:`save_corpus`."""
+def load_corpus(path: str | Path, strict: bool = True) -> PacketCorpus:
+    """Load a corpus previously written by :func:`save_corpus`.
+
+    Every segment is verified against its recorded sha256 before use.
+    With ``strict=True`` (the default) any missing, truncated, or
+    corrupted file raises :class:`StoreError` naming the path and the
+    failed check. With ``strict=False`` a bad segment is quarantined:
+    its telescope loads empty, the whole run is recorded as a coverage
+    gap for it, and a :class:`DegradationWarning` is emitted.
+    """
     directory = Path(path)
     meta_path = directory / "meta.json"
     if not meta_path.exists():
-        raise AnalysisError(f"no corpus at {directory} (missing meta.json)")
-    meta = json.loads(meta_path.read_text())
+        raise StoreError(f"no corpus at {directory} (missing meta.json)",
+                         path=meta_path, check="exists")
+    try:
+        meta = json.loads(meta_path.read_text())
+    except (json.JSONDecodeError, OSError) as exc:
+        raise StoreError(f"corpus metadata {meta_path} is unreadable: {exc}",
+                         path=meta_path, check="json") from exc
     if meta.get("format_version") != FORMAT_VERSION:
-        raise AnalysisError(
-            f"unsupported corpus format {meta.get('format_version')!r}")
+        raise StoreError(
+            f"unsupported corpus format {meta.get('format_version')!r}",
+            path=meta_path, check="format_version")
 
     config = ExperimentConfig(**meta["config"])
     schedule = [
@@ -142,21 +177,30 @@ def load_corpus(path: str | Path) -> PacketCorpus:
         rdns_zone.add_ptr(int(src_text), name)
     resolver = Resolver([rdns_zone])
 
+    checksums = meta.get("checksums", {})
+    coverage_gaps = {
+        name: tuple((float(start), float(end)) for start, end in windows)
+        for name, windows in meta.get("coverage_gaps", {}).items()}
+
     tables_by_telescope: dict[str, PacketTable] = {}
     for telescope in TELESCOPE_NAMES:
-        with np.load(directory / f"packets_{telescope}.npz") as data:
-            # materialize every column once — indexing the lazy npz
-            # members re-decompresses the whole array per access.
-            # Columns go straight into a PacketTable; Packet objects are
-            # only built if an analysis asks for them.
-            tables_by_telescope[telescope] = PacketTable.from_blob_arrays(
-                time=data["time"],
-                src_hi=data["src_hi"], src_lo=data["src_lo"],
-                dst_hi=data["dst_hi"], dst_lo=data["dst_lo"],
-                protocol=data["proto"], dst_port=data["port"],
-                src_asn=data["asn"], scanner_id=data["scanner"],
-                payload_offsets=data["payload_offsets"],
-                payload_blob=data["payload_blob"])
+        segment = directory / f"packets_{telescope}.npz"
+        try:
+            tables_by_telescope[telescope] = _load_segment(
+                segment, checksums.get(telescope))
+        except StoreError as exc:
+            if strict:
+                raise
+            # quarantine: the telescope loads empty and its whole run
+            # becomes a coverage gap so analyses normalize, not crash
+            obs.add("store.segments_quarantined_total", telescope=telescope)
+            warn_degraded(
+                f"corpus segment {segment.name} quarantined "
+                f"(failed {exc.check} check): {telescope} loads empty",
+                artifact="load_corpus", telescope=telescope,
+                reason=exc.check)
+            tables_by_telescope[telescope] = PacketTable.empty()
+            coverage_gaps[telescope] = ((0.0, config.duration),)
 
     return PacketCorpus(
         config=config,
@@ -169,4 +213,66 @@ def load_corpus(path: str | Path) -> PacketCorpus:
         t2_prefix=Prefix.parse(meta["prefixes"]["t2"]),
         t3_prefix=Prefix.parse(meta["prefixes"]["t3"]),
         t4_prefix=Prefix.parse(meta["prefixes"]["t4"]),
-        attractor_addr=int(meta["attractor_addr"]))
+        attractor_addr=int(meta["attractor_addr"]),
+        coverage_gaps=coverage_gaps)
+
+
+def _load_segment(path: Path, expected_sha: str | None) -> PacketTable:
+    """Read one verified ``packets_<T>.npz`` segment.
+
+    All on-disk failure modes surface as :class:`StoreError` — checksum
+    mismatch before any decompression, then any numpy/zip/OS exception
+    from actually reading the arrays (truncated files, flipped bytes
+    that survive the missing-checksum legacy path, bad members).
+    """
+    if not path.exists():
+        raise StoreError(f"missing corpus segment {path}",
+                         path=path, check="exists")
+    if expected_sha is not None:
+        actual = hashlib.sha256(path.read_bytes()).hexdigest()
+        if actual != expected_sha:
+            raise StoreError(
+                f"corpus segment {path} failed its sha256 check "
+                f"(stored {expected_sha[:12]}…, found {actual[:12]}…)",
+                path=path, check="sha256")
+    try:
+        with np.load(path) as data:
+            # materialize every column once — indexing the lazy npz
+            # members re-decompresses the whole array per access.
+            # Columns go straight into a PacketTable; Packet objects are
+            # only built if an analysis asks for them.
+            return PacketTable.from_blob_arrays(
+                time=data["time"],
+                src_hi=data["src_hi"], src_lo=data["src_lo"],
+                dst_hi=data["dst_hi"], dst_lo=data["dst_lo"],
+                protocol=data["proto"], dst_port=data["port"],
+                src_asn=data["asn"], scanner_id=data["scanner"],
+                payload_offsets=data["payload_offsets"],
+                payload_blob=data["payload_blob"])
+    except (OSError, ValueError, KeyError, EOFError,
+            zipfile.BadZipFile) as exc:
+        raise StoreError(f"corpus segment {path} is unreadable: {exc}",
+                         path=path, check="read") from exc
+
+
+def corpus_digest(corpus: PacketCorpus) -> str:
+    """Content hash of the packet columns of all four telescopes.
+
+    Hashes the time-sorted column arrays directly rather than the npz
+    files — ``savez_compressed`` embeds zip member timestamps, so two
+    byte-identical *corpora* do not produce byte-identical *files*. Two
+    corpora with the same packets always share a digest, which is what
+    the resume- and fault-differential tests compare.
+    """
+    digest = hashlib.sha256()
+    for telescope in TELESCOPE_NAMES:
+        table = corpus.table(telescope).time_sorted()
+        payload_offsets, blob = table.payload_blob()
+        digest.update(telescope.encode())
+        for column in (table.time, table.src_hi, table.src_lo,
+                       table.dst_hi, table.dst_lo, table.protocol,
+                       table.dst_port, table.src_asn, table.scanner_id,
+                       payload_offsets):
+            digest.update(np.ascontiguousarray(column).tobytes())
+        digest.update(blob)
+    return digest.hexdigest()

@@ -1,0 +1,283 @@
+"""Deterministic fault injection for the measurement substrate.
+
+Real longitudinal telescope deployments (the paper's ran eleven months
+across four vantage points) suffer capture outages, BGP session resets,
+and in-flight packet loss. This module models those faults as a seeded,
+declarative :class:`FaultPlan` that a :class:`FaultInjector` wires into a
+built deployment:
+
+- **telescope blackouts** — a capture drops every packet whose arrival
+  time falls inside a window; the window is recorded as a coverage gap
+  so analyses can normalize by covered time (both the scalar and the
+  batched append path share one drop counter);
+- **BGP session flaps** — the T1 announcements are withdrawn through the
+  controller's speaker at flap start and re-announced at flap end, the
+  data plane treats T1 as unrouted for the window, and the routing-epoch
+  machinery of ``route_batch`` gains boundaries at the flap edges;
+- **delivery loss** — each routed packet is dropped in flight with a
+  fixed probability, drawn from a dedicated named RNG stream so enabling
+  loss never perturbs any other stream;
+- **store corruption** — named corpus segments are bit-flipped after a
+  save, for exercising the loader's checksum quarantine path.
+
+Every injected fault increments an ``faults.*`` obs counter and the
+schedule markers run inside ``fault.*`` tracing spans. An empty plan
+installs nothing: a run with the fault layer enabled but no faults is
+byte-identical to a run without the layer (differential-tested).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.errors import FaultError
+
+#: Valid blackout / corruption targets.
+TELESCOPE_NAMES = ("T1", "T2", "T3", "T4")
+
+log = obs.log.get_logger("faults")
+
+
+@dataclass(frozen=True, slots=True)
+class BlackoutWindow:
+    """One capture outage: ``telescope`` records nothing in [start, end)."""
+
+    telescope: str
+    start: float
+    end: float
+
+
+@dataclass(frozen=True, slots=True)
+class BgpFlap:
+    """One T1 BGP session reset: withdrawn at ``start``, back at ``end``."""
+
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative, deterministic schedule of substrate faults.
+
+    All times are absolute simulation seconds. The plan is pure data:
+    two plans with equal fields produce identical fault behavior for the
+    same master seed.
+    """
+
+    blackouts: tuple[BlackoutWindow, ...] = ()
+    flaps: tuple[BgpFlap, ...] = ()
+    #: probability that a routed packet is lost in flight ([0, 1)).
+    loss_rate: float = 0.0
+    #: corpus segments (telescope names) to corrupt after a save.
+    corrupt_segments: tuple[str, ...] = ()
+
+    def is_empty(self) -> bool:
+        return (not self.blackouts and not self.flaps
+                and self.loss_rate == 0.0 and not self.corrupt_segments)
+
+    def validate(self) -> None:
+        for window in self.blackouts:
+            if window.telescope not in TELESCOPE_NAMES:
+                raise FaultError(
+                    f"blackout names unknown telescope {window.telescope!r}")
+            if not (0.0 <= window.start < window.end):
+                raise FaultError(
+                    f"invalid blackout window [{window.start}, {window.end})")
+        for flap in self.flaps:
+            if not (0.0 <= flap.start < flap.end):
+                raise FaultError(
+                    f"invalid flap window [{flap.start}, {flap.end})")
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise FaultError(f"loss_rate must be in [0, 1), "
+                             f"got {self.loss_rate}")
+        for name in self.corrupt_segments:
+            if name not in TELESCOPE_NAMES:
+                raise FaultError(f"unknown corrupt segment {name!r}")
+
+    def blackouts_for(self, telescope: str) \
+            -> tuple[tuple[float, float], ...]:
+        """Sorted (start, end) blackout windows of one telescope."""
+        return tuple(sorted(
+            (w.start, w.end) for w in self.blackouts
+            if w.telescope == telescope))
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "blackouts": [{"telescope": w.telescope, "start": w.start,
+                           "end": w.end} for w in self.blackouts],
+            "flaps": [{"start": f.start, "end": f.end} for f in self.flaps],
+            "loss_rate": self.loss_rate,
+            "corrupt_segments": list(self.corrupt_segments),
+        }, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise FaultError("fault plan must be a JSON object")
+        unknown = set(raw) - {"blackouts", "flaps", "loss_rate",
+                              "corrupt_segments"}
+        if unknown:
+            raise FaultError(f"unknown fault plan keys: {sorted(unknown)}")
+        try:
+            plan = cls(
+                blackouts=tuple(
+                    BlackoutWindow(telescope=b["telescope"],
+                                   start=float(b["start"]),
+                                   end=float(b["end"]))
+                    for b in raw.get("blackouts", ())),
+                flaps=tuple(
+                    BgpFlap(start=float(f["start"]), end=float(f["end"]))
+                    for f in raw.get("flaps", ())),
+                loss_rate=float(raw.get("loss_rate", 0.0)),
+                corrupt_segments=tuple(raw.get("corrupt_segments", ())))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultError(f"malformed fault plan entry: {exc}") from exc
+        plan.validate()
+        return plan
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "FaultPlan":
+        path = Path(path)
+        if not path.exists():
+            raise FaultError(f"no fault plan at {path}")
+        return cls.from_json(path.read_text())
+
+
+@dataclass
+class FaultInjector:
+    """Wires a :class:`FaultPlan` into a built deployment.
+
+    The injector is part of the simulated world once installed (its flap
+    and marker callbacks sit in the event queue), so it is picklable and
+    checkpoints transparently with the rest of the run.
+    """
+
+    plan: FaultPlan
+    seed: int = 0
+    installed: bool = field(default=False, init=False)
+    blackouts_started: int = field(default=0, init=False)
+    flaps_fired: int = field(default=0, init=False)
+
+    def install(self, deployment) -> None:
+        """Arm every fault of the plan on ``deployment``.
+
+        An empty plan is a strict no-op: no events are scheduled, no RNG
+        streams are created, and the run is byte-identical to one without
+        the fault layer.
+        """
+        if self.installed:
+            raise FaultError("fault injector already installed")
+        self.plan.validate()
+        self.installed = True
+        if self.plan.is_empty():
+            return
+        with obs.span("fault.install",
+                      blackouts=len(self.plan.blackouts),
+                      flaps=len(self.plan.flaps),
+                      loss_rate=self.plan.loss_rate):
+            simulator = deployment.simulator
+            for name, telescope in deployment.telescopes.items():
+                windows = self.plan.blackouts_for(name)
+                if not windows:
+                    continue
+                telescope.capture.blackout_windows = windows
+                for start, end in windows:
+                    simulator.schedule_at(
+                        start, partial(self._blackout_marker, name,
+                                       start, end),
+                        label=f"fault:blackout:{name}")
+            for flap in self.plan.flaps:
+                deployment.add_t1_outage(flap.start, flap.end)
+                simulator.schedule_at(
+                    flap.start, partial(self._flap_down, deployment, flap),
+                    label="fault:flap-down")
+                simulator.schedule_at(
+                    flap.end, partial(self._flap_up, deployment, flap),
+                    label="fault:flap-up")
+            if self.plan.loss_rate > 0.0:
+                deployment.loss_rate = self.plan.loss_rate
+                deployment._loss_rng = \
+                    deployment.streams.fresh("faults.loss")
+
+    # -- scheduled fault callbacks ----------------------------------------
+
+    def _blackout_marker(self, telescope: str, start: float,
+                         end: float) -> None:
+        """Sim-time marker at a blackout's start (obs accounting only).
+
+        The drop itself is time-based in the capture, which keeps the
+        scalar and deferred-batch append paths consistent — a session
+        materialized after the run still loses exactly the packets whose
+        arrival times fall inside the window.
+        """
+        self.blackouts_started += 1
+        obs.add("faults.blackouts_total", telescope=telescope)
+        log.info("fault: %s blackout [%.0f, %.0f) begins",
+                 telescope, start, end)
+
+    def _flap_down(self, deployment, flap: BgpFlap) -> None:
+        """Withdraw the active T1 announcements (session reset)."""
+        with obs.span("fault.bgp_flap", phase="down"):
+            self.flaps_fired += 1
+            obs.add("faults.bgp_flaps_total")
+            controller = deployment.controller
+            cycle = controller.cycle_at(flap.start)
+            if cycle is None:
+                return  # flap started inside a scheduled withdrawal gap
+            for prefix in cycle.prefixes:
+                controller.speaker.withdraw_origin(prefix)
+            obs.add("bgp.withdrawals_total", len(cycle.prefixes))
+            log.info("fault: BGP flap withdrew %d prefixes at t=%.0f",
+                     len(cycle.prefixes), flap.start)
+
+    def _flap_up(self, deployment, flap: BgpFlap) -> None:
+        """Re-announce whatever cycle is scheduled to be active now."""
+        with obs.span("fault.bgp_flap", phase="up"):
+            controller = deployment.controller
+            cycle = controller.cycle_at(flap.end)
+            if cycle is None:
+                return
+            for prefix in cycle.prefixes:
+                controller.speaker.originate(prefix)
+            obs.add("bgp.announcements_total", len(cycle.prefixes))
+
+    # -- store corruption ---------------------------------------------------
+
+    def corrupt_store(self, directory: str | Path) -> list[Path]:
+        """Corrupt the planned segments of a saved corpus (bit flips).
+
+        Flips one byte in the middle third of each named segment file,
+        at a seed-determined offset — enough to fail the content
+        checksum without touching the zip directory, which is how silent
+        on-disk corruption usually presents. Returns the corrupted paths.
+        """
+        directory = Path(directory)
+        rng = np.random.default_rng(self.seed ^ 0xFA17)
+        corrupted: list[Path] = []
+        for name in self.plan.corrupt_segments:
+            path = directory / f"packets_{name}.npz"
+            if not path.exists():
+                raise FaultError(f"no segment to corrupt at {path}")
+            blob = bytearray(path.read_bytes())
+            if not blob:
+                raise FaultError(f"segment {path} is empty")
+            lo, hi = len(blob) // 3, max(len(blob) // 3 + 1,
+                                         2 * len(blob) // 3)
+            offset = int(rng.integers(lo, hi))
+            blob[offset] ^= 0xFF
+            path.write_bytes(bytes(blob))
+            obs.add("faults.segments_corrupted_total")
+            corrupted.append(path)
+        return corrupted

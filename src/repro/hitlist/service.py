@@ -9,6 +9,7 @@ matching the paper's observation for T1's /32.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 from repro.bgp.collector import CollectorEntry, RouteCollector
 from repro.bgp.messages import UpdateKind
@@ -64,7 +65,7 @@ class HitlistService:
         self._pending.add(prefix)
         self.simulator.schedule_in(
             self.publication_delay,
-            lambda: self._publish(prefix),
+            partial(self._publish, prefix),
             label=f"hitlist:publish:{prefix}",
         )
 

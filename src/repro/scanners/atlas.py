@@ -14,7 +14,7 @@ import numpy as np
 from repro.bgp.controller import AnnouncementCycle
 from repro.net.prefix import Prefix
 from repro.scanners.base import (Scanner, SourceModel, TemporalBehavior,
-                                 TemporalKind)
+                                 TemporalKind, UniformPackets)
 from repro.scanners.netselect import FixedPrefixPolicy
 from repro.scanners.registry import ASRegistry, NetworkType
 from repro.scanners.strategies import FixedTargetsStrategy, ProtocolProfile
@@ -71,7 +71,7 @@ def build_atlas_fleet(schedule: list[AnnouncementCycle],
             addr_strategy=FixedTargetsStrategy((prefix.low_byte_address,)),
             protocol_profile=ProtocolProfile(icmpv6=1.0),
             rng=streams.fresh(f"scanner.atlas.{probe_index}"),
-            packets_per_session=lambda r: int(r.integers(1, 4)),
+            packets_per_session=UniformPackets(1, 3),
             tool=RIPE_ATLAS,
             payload_probability=0.95,
             rdns_name=RIPE_ATLAS.rdns_for(probe_index),

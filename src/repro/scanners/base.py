@@ -15,6 +15,7 @@ from __future__ import annotations
 import enum
 import os
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -50,6 +51,43 @@ def batch_emit_default() -> bool:
 if TYPE_CHECKING:  # pragma: no cover
     from repro.scanners.netselect import NetworkPolicy
     from repro.scanners.strategies import AddressStrategy, ProtocolProfile
+
+
+@dataclass(frozen=True, slots=True)
+class ConstPackets:
+    """Session-size sampler returning a constant count.
+
+    Scanner callbacks and samplers must be picklable (no lambdas) so a
+    live experiment can be checkpointed mid-run; these small callable
+    dataclasses replace the obvious closures.
+    """
+
+    n: int
+
+    def __call__(self, rng: np.random.Generator) -> int:
+        return self.n
+
+
+@dataclass(frozen=True, slots=True)
+class UniformPackets:
+    """Session-size sampler: uniform integer in [low, high]."""
+
+    low: int
+    high: int
+
+    def __call__(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+
+@dataclass(frozen=True, slots=True)
+class UniformDelay:
+    """Reaction-delay sampler: uniform float in [low, high] seconds."""
+
+    low: float
+    high: float
+
+    def __call__(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
 
 
 class TemporalKind(enum.Enum):
@@ -390,14 +428,13 @@ class Scanner:
         start, end = self.window(ctx)
         for t in self.temporal.session_times(start, end, self.rng):
             ctx.simulator.schedule_at(
-                max(t, ctx.simulator.now), lambda t=t: self.fire(ctx, t),
+                max(t, ctx.simulator.now), partial(self.fire, ctx, t),
                 label=f"scan:{self.name}")
         if self.reaction_delay is not None:
             if ctx.collector is None:
                 raise ExperimentError(
                     f"reactive scanner {self.name} needs a collector feed")
-            ctx.collector.subscribe(
-                lambda time, entry: self._on_feed(ctx, time, entry))
+            ctx.collector.subscribe(partial(self._on_feed, ctx))
 
     def _on_feed(self, ctx: ScannerContext, time: float,
                  entry: CollectorEntry) -> None:
@@ -409,7 +446,7 @@ class Scanner:
         if start <= fire_at < end:
             ctx.simulator.schedule_at(
                 max(fire_at, ctx.simulator.now),
-                lambda: self.fire(ctx, fire_at, trigger=entry.prefix),
+                partial(self.fire, ctx, fire_at, entry.prefix),
                 label=f"scan-react:{self.name}")
 
     # -- session emission --------------------------------------------------------

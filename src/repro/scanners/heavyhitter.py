@@ -12,7 +12,8 @@ DNS requests.
 from __future__ import annotations
 
 from repro.net.prefix import Prefix
-from repro.scanners.base import (Scanner, TemporalBehavior, TemporalKind)
+from repro.scanners.base import (ConstPackets, Scanner, TemporalBehavior,
+                                 TemporalKind)
 from repro.scanners.netselect import (AllAnnouncedPolicy, AnnouncedProvider,
                                       FixedPrefixPolicy)
 from repro.scanners.registry import ASRegistry, NetworkType
@@ -58,7 +59,7 @@ def build_heavy_hitters(announced: AnnouncedProvider,
         addr_strategy=RandomStrategy(),
         protocol_profile=ProtocolProfile(icmpv6=1.0),
         rng=streams.fresh("hh.t1.bulletproof"),
-        packets_per_session=lambda r, n=burst_packets: n,
+        packets_per_session=ConstPackets(burst_packets),
         mean_packet_gap=0.02,
         active_start=split_start + 6 * WEEK,
         active_end=split_start + 8 * WEEK))
@@ -72,7 +73,7 @@ def build_heavy_hitters(announced: AnnouncedProvider,
         addr_strategy=RandomStrategy(structured_subnets=True),
         protocol_profile=DNS_ONLY,
         rng=streams.fresh("hh.t1.udp-dns"),
-        packets_per_session=lambda r, n=burst_packets: int(n * 0.65),
+        packets_per_session=ConstPackets(int(burst_packets * 0.65)),
         mean_packet_gap=0.02,
         active_start=split_start))
 
@@ -85,7 +86,7 @@ def build_heavy_hitters(announced: AnnouncedProvider,
         addr_strategy=RandomStrategy(),
         protocol_profile=ProtocolProfile(icmpv6=0.9, tcp=0.1),
         rng=streams.fresh("hh.t1.burst"),
-        packets_per_session=lambda r, n=burst_packets: int(n * 0.4),
+        packets_per_session=ConstPackets(int(burst_packets * 0.4)),
         mean_packet_gap=0.02,
         active_start=split_start))
 
@@ -98,7 +99,7 @@ def build_heavy_hitters(announced: AnnouncedProvider,
         addr_strategy=StructuredSweepStrategy(),
         protocol_profile=ProtocolProfile(icmpv6=1.0),
         rng=streams.fresh("hh.t1.research"),
-        packets_per_session=lambda r, n=burst_packets: int(n * 0.5),
+        packets_per_session=ConstPackets(int(burst_packets * 0.5)),
         mean_packet_gap=0.02,
         rdns_name="ipv6-survey.research-university.edu"))
 
@@ -114,7 +115,7 @@ def build_heavy_hitters(announced: AnnouncedProvider,
         addr_strategy=StructuredSweepStrategy(),
         protocol_profile=ProtocolProfile(icmpv6=0.7, tcp=0.3),
         rng=streams.fresh("hh.t2.6sense"),
-        packets_per_session=lambda r, n=burst_packets: max(2, n // 45),
+        packets_per_session=ConstPackets(max(2, burst_packets // 45)),
         tool=SIX_SENSE, payload_probability=0.8,
         rdns_name=SIX_SENSE.rdns_for(1),
         mean_packet_gap=0.05))
@@ -129,7 +130,7 @@ def build_heavy_hitters(announced: AnnouncedProvider,
         addr_strategy=LowByteStrategy(hosts=(1, 2, 0x443)),
         protocol_profile=ProtocolProfile(icmpv6=0.2, tcp=0.8),
         rng=streams.fresh("hh.t2.longterm"),
-        packets_per_session=lambda r, n=burst_packets: max(2, n // 100),
+        packets_per_session=ConstPackets(max(2, burst_packets // 100)),
         mean_packet_gap=0.05))
 
     shared = registry.allocate(NetworkType.EDUCATION)
@@ -142,7 +143,7 @@ def build_heavy_hitters(announced: AnnouncedProvider,
         addr_strategy=RandomStrategy(structured_subnets=True),
         protocol_profile=ProtocolProfile(icmpv6=1.0),
         rng=streams.fresh("hh.t2.t4"),
-        packets_per_session=lambda r, n=burst_packets: int(n * 0.25),
+        packets_per_session=ConstPackets(int(burst_packets * 0.25)),
         mean_packet_gap=0.03,
         rdns_name="periphery-scan.netlab.example.edu"))
 

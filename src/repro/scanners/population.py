@@ -18,8 +18,9 @@ from repro.errors import ExperimentError
 from repro.net.addr import random_bits
 from repro.net.prefix import Prefix
 from repro.scanners.atlas import build_atlas_fleet
-from repro.scanners.base import (Scanner, SourceModel, TemporalBehavior,
-                                 TemporalKind)
+from repro.scanners.base import (ConstPackets, Scanner, SourceModel,
+                                 TemporalBehavior, TemporalKind,
+                                 UniformDelay, UniformPackets)
 from repro.scanners.heavyhitter import build_heavy_hitters
 from repro.scanners.netselect import (AllAnnouncedPolicy, AlternatingPolicy,
                                       AnnouncedProvider, CombinedPolicy,
@@ -41,15 +42,15 @@ from repro.sim.rng import RngStreams
 
 def uniform_packets(low: int, high: int) \
         -> Callable[[np.random.Generator], int]:
-    """Session-size sampler: uniform integer in [low, high]."""
+    """Session-size sampler: uniform integer in [low, high] (picklable)."""
     if low < 1 or high < low:
         raise ExperimentError(f"invalid session size range [{low}, {high}]")
-    return lambda rng: int(rng.integers(low, high + 1))
+    return UniformPackets(low, high)
 
 
 def const_packets(n: int) -> Callable[[np.random.Generator], int]:
-    """Session-size sampler: always ``n``."""
-    return lambda rng: n
+    """Session-size sampler: always ``n`` (picklable)."""
+    return ConstPackets(n)
 
 
 @dataclass
@@ -392,7 +393,7 @@ class _Builder:
                 protocol_profile=ProtocolProfile(icmpv6=0.7, tcp=0.3),
                 rng=self.streams.fresh(f"scanner.bgpmon.{index}"),
                 packets_per_session=uniform_packets(4, 12),
-                reaction_delay=lambda rng: float(rng.uniform(120.0, 1700.0)),
+                reaction_delay=UniformDelay(120.0, 1700.0),
                 truth_network_class="single-prefix"))
 
     def t2_dns_attractor(self) -> None:

@@ -15,6 +15,7 @@ in the same covering /29: responses breed probes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -138,7 +139,7 @@ class DynamicTGAScanner:
         while t < end:
             ctx.simulator.schedule_at(
                 max(t, ctx.simulator.now),
-                lambda t=t: self.fire(ctx, t),
+                partial(self.fire, ctx, t),
                 label=f"tga:{self.name}")
             t += self.period
 

@@ -73,21 +73,56 @@ class PacketCapture:
 
     name: str = ""
     capture_filter: CaptureFilter | None = None
+    #: fault-injected outage windows [start, end): arrivals inside are
+    #: dropped (start inclusive, end exclusive) on *both* append paths,
+    #: counted once in :attr:`blackout_dropped` and the shared
+    #: ``telescope.blackout_dropped_total`` counter.
+    blackout_windows: tuple[tuple[float, float], ...] = ()
     _packets: list[Packet] = field(default_factory=list)
     _sorted: bool = field(default=True)
     _builder: object = field(default=None, repr=False)
     _table: object = field(default=None, repr=False)
     dropped: int = 0
+    blackout_dropped: int = 0
     # bound metrics, cached per recorder so the per-packet cost while
     # recording is one identity check + one counter increment
     _obs_counter: object = field(default=None, repr=False, compare=False)
     _obs_owner: object = field(default=None, repr=False, compare=False)
 
+    def _in_blackout(self, t: float) -> bool:
+        for start, end in self.blackout_windows:
+            if start <= t < end:
+                return True
+        return False
+
+    def _blackout_keep_mask(self, time: np.ndarray) -> np.ndarray | None:
+        """Vectorized :meth:`_in_blackout` over a time column (None=all)."""
+        if not self.blackout_windows:
+            return None
+        drop = np.zeros(len(time), dtype=bool)
+        for start, end in self.blackout_windows:
+            drop |= (time >= start) & (time < end)
+        return ~drop
+
+    def _count_blackout_drops(self, n: int) -> None:
+        """The single shared accounting path for blackout drops.
+
+        Both :meth:`record` and :meth:`append_batch` come through here,
+        so a dropped packet is counted exactly once regardless of the
+        append path that carried it.
+        """
+        self.blackout_dropped += n
+        obs.add("telescope.blackout_dropped_total", n,
+                telescope=self.name or "unnamed")
+
     def record(self, packet: Packet) -> bool:
-        """Store ``packet`` unless the filter rejects it.
+        """Store ``packet`` unless a blackout or the filter rejects it.
 
         Returns True if the packet was stored.
         """
+        if self.blackout_windows and self._in_blackout(packet.time):
+            self._count_blackout_drops(1)
+            return False
         if self.capture_filter is not None \
                 and not self.capture_filter.accepts(packet):
             self.dropped += 1
@@ -109,6 +144,21 @@ class PacketCapture:
         n = len(time)
         if n == 0:
             return 0
+        if self.blackout_windows:
+            keep = self._blackout_keep_mask(time)
+            kept = int(np.count_nonzero(keep))
+            if kept < n:
+                self._count_blackout_drops(n - kept)
+                if kept == 0:
+                    return 0
+                time = time[keep]
+                src_hi, src_lo = src_hi[keep], src_lo[keep]
+                dst_hi, dst_lo = dst_hi[keep], dst_lo[keep]
+                protocol, dst_port = protocol[keep], dst_port[keep]
+                src_asn, scanner_id = src_asn[keep], scanner_id[keep]
+                if payload_id is not None:
+                    payload_id = payload_id[keep]
+                n = kept
         if self.capture_filter is not None:
             keep = self.capture_filter.accept_mask(src_hi, src_lo,
                                                    dst_hi, dst_lo)

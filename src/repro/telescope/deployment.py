@@ -10,8 +10,11 @@ a given time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
+
+from repro import obs
 
 from repro.bgp.collector import RouteCollector
 from repro.bgp.controller import (AnnouncementCycle, SplitController,
@@ -68,6 +71,13 @@ class Deployment:
     baseline_weeks: int = 12
     #: set by :func:`build_deployment` when route-object creation is armed.
     route_object_created_at: float | None = None
+    #: T1 data-plane outage windows [start, end) installed by the fault
+    #: injector (BGP session flaps); packets to T1 are unrouted inside.
+    t1_outages: list[tuple[float, float]] = field(default_factory=list)
+    #: probabilistic substrate delivery loss (fault injection); a routed
+    #: packet is dropped in flight with this probability.
+    loss_rate: float = 0.0
+    _loss_rng: object = field(default=None, repr=False)
     # routing-epoch machinery of route_batch, built lazily from the
     # controller schedule
     _epoch_boundaries: object = field(default=None, repr=False)
@@ -91,30 +101,55 @@ class Deployment:
 
     # -- data plane ------------------------------------------------------------
 
+    def add_t1_outage(self, start: float, end: float) -> None:
+        """Register a T1 data-plane outage (fault injection).
+
+        Invalidates the routing-epoch caches so :meth:`route_batch`
+        re-derives its boundaries with the outage edges included.
+        """
+        self.t1_outages.append((float(start), float(end)))
+        self._epoch_boundaries = None
+        self._epoch_matchers.clear()
+
+    def _t1_down(self, now: float) -> bool:
+        return any(start <= now < end for start, end in self.t1_outages)
+
+    def _lost(self) -> bool:
+        """One in-flight loss draw for the scalar routing path."""
+        if self.loss_rate <= 0.0:
+            return False
+        if float(self._loss_rng.random()) < self.loss_rate:
+            obs.add("faults.packets_lost_total")
+            return True
+        return False
+
     def route(self, dst: int, now: float | None = None) -> Telescope | None:
         """Which telescope captures a packet to ``dst`` right now.
 
         T1 is reachable only while its covering announcement cycle is
-        active; T2 and the /29 (hence T3/T4) are stable. Packets into the
-        /29 outside T3/T4 belong to the prefix owner and are invisible.
+        active (and not flapped down by a fault); T2 and the /29 (hence
+        T3/T4) are stable. Packets into the /29 outside T3/T4 belong to
+        the prefix owner and are invisible.
         """
         if now is None:
             now = self.simulator.now
         if T2_PREFIX.contains_address(dst):
-            return self.telescopes["T2"]
+            return None if self._lost() else self.telescopes["T2"]
         if T3_PREFIX.contains_address(dst):
-            return self.telescopes["T3"]
+            return None if self._lost() else self.telescopes["T3"]
         if T4_PREFIX.contains_address(dst):
-            return self.telescopes["T4"]
+            return None if self._lost() else self.telescopes["T4"]
         if COVERING_PREFIX.contains_address(dst):
             return None
         if T1_PREFIX.contains_address(dst):
+            if self.t1_outages and self._t1_down(now):
+                return None
             cycle = self.controller.cycle_at(now)
             if cycle is None:
                 return None
             for prefix in cycle.prefixes:
                 if prefix.contains_address(dst):
-                    return self.telescopes["T1"]
+                    return None if self._lost() else self.telescopes["T1"]
         return None
 
     def _boundaries(self) -> np.ndarray:
@@ -130,6 +165,9 @@ class Deployment:
             for cycle in self.controller.schedule:
                 times.add(cycle.announce_time)
                 times.add(cycle.withdraw_time)
+            for start, end in self.t1_outages:
+                times.add(start)
+                times.add(end)
             self._epoch_boundaries = np.array(sorted(times))
         return self._epoch_boundaries
 
@@ -141,7 +179,8 @@ class Deployment:
                 else float(boundaries[epoch - 1])
             entries = [(T2_PREFIX, 1), (T3_PREFIX, 2), (T4_PREFIX, 3)]
             cycle = self.controller.cycle_at(probe)
-            if cycle is not None:
+            if cycle is not None and not (self.t1_outages
+                                          and self._t1_down(probe)):
                 entries.extend((prefix, 0) for prefix in cycle.prefixes)
             matcher = build_matcher(entries, default=NO_MATCH)
             self._epoch_matchers[epoch] = matcher
@@ -162,13 +201,25 @@ class Deployment:
         telescopes = (self.telescopes["T1"], self.telescopes["T2"],
                       self.telescopes["T3"], self.telescopes["T4"])
         if epochs[0] == epochs[-1] and (epochs == first).all():
-            return self._epoch_matcher(first).lookup(dst_hi, dst_lo), \
-                telescopes
-        slots = np.empty(len(dst_hi), dtype=np.int16)
-        for epoch in np.unique(epochs):
-            rows = epochs == epoch
-            slots[rows] = self._epoch_matcher(int(epoch)).lookup(
-                dst_hi[rows], dst_lo[rows])
+            slots = self._epoch_matcher(first).lookup(dst_hi, dst_lo)
+        else:
+            slots = np.empty(len(dst_hi), dtype=np.int16)
+            for epoch in np.unique(epochs):
+                rows = epochs == epoch
+                slots[rows] = self._epoch_matcher(int(epoch)).lookup(
+                    dst_hi[rows], dst_lo[rows])
+        if self.loss_rate > 0.0:
+            # one loss draw per *routed* row, mirroring the scalar path
+            routed = slots >= 0
+            n_routed = int(np.count_nonzero(routed))
+            if n_routed:
+                lost = self._loss_rng.random(n_routed) < self.loss_rate
+                n_lost = int(np.count_nonzero(lost))
+                if n_lost:
+                    rows = np.flatnonzero(routed)[lost]
+                    slots = slots.copy() if slots.base is not None else slots
+                    slots[rows] = -1
+                    obs.add("faults.packets_lost_total", n_lost)
         return slots, telescopes
 
     def announced_t1_prefixes(self, now: float | None = None) \
@@ -186,6 +237,18 @@ class Deployment:
 
     def total_packets(self) -> int:
         return sum(len(t.capture) for t in self.telescopes.values())
+
+    # -- scheduled setup callbacks (picklable event actions) -----------------
+
+    def _announce_stable(self) -> None:
+        self.network.speaker(TELESCOPE_ASN).originate(T2_PREFIX)
+        self.network.speaker(COVERING_ASN).originate(COVERING_PREFIX)
+
+    def _create_route_object(self, when: float) -> None:
+        stable_33 = T1_PREFIX.split()[0]
+        self.irr.register(Route6Object(prefix=stable_33,
+                                       origin=TELESCOPE_ASN), time=when)
+        self.route_object_created_at = when
 
 
 def build_deployment(streams: RngStreams,
@@ -266,22 +329,13 @@ def build_deployment(streams: RngStreams,
         controller=controller, productive=productive, rdns_zone=rdns_zone,
         baseline_weeks=baseline_weeks)
 
-    def _announce_stable() -> None:
-        network.speaker(TELESCOPE_ASN).originate(T2_PREFIX)
-        network.speaker(COVERING_ASN).originate(COVERING_PREFIX)
-
-    simulator.schedule_at(0.0, _announce_stable, label="stable:announce")
+    simulator.schedule_at(0.0, deployment._announce_stable,
+                          label="stable:announce")
     controller.start()
 
     if create_route_object_after_weeks is not None:
         when = create_route_object_after_weeks * WEEK
-
-        def _create_route_object() -> None:
-            stable_33 = T1_PREFIX.split()[0]
-            irr.register(Route6Object(prefix=stable_33,
-                                      origin=TELESCOPE_ASN), time=when)
-            deployment.route_object_created_at = when
-
-        simulator.schedule_at(when, _create_route_object,
+        simulator.schedule_at(when,
+                              partial(deployment._create_route_object, when),
                               label="irr:create-route6")
     return deployment

@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis.context import CorpusAnalysis
 from repro.analysis.tables import table2, table7
-from repro.errors import AnalysisError
+from repro.errors import StoreError
 from repro.experiment.store import load_corpus, save_corpus
 
 
@@ -74,7 +74,7 @@ class TestRoundtrip:
 
 class TestErrors:
     def test_missing_directory(self, tmp_path):
-        with pytest.raises(AnalysisError):
+        with pytest.raises(StoreError):
             load_corpus(tmp_path / "nothing-here")
 
     def test_bad_format_version(self, tmp_path, tiny_corpus):
@@ -83,5 +83,82 @@ class TestErrors:
         meta = path / "meta.json"
         meta.write_text(meta.read_text().replace(
             '"format_version": 1', '"format_version": 99'))
-        with pytest.raises(AnalysisError):
+        with pytest.raises(StoreError):
             load_corpus(path)
+
+
+class TestStoreIntegrity:
+    """Truncated and bit-flipped segments surface as StoreError."""
+
+    @pytest.fixture()
+    def saved(self, tmp_path, tiny_corpus):
+        path = tmp_path / "run"
+        save_corpus(tiny_corpus, path)
+        return path
+
+    def test_truncated_segment(self, saved):
+        segment = saved / "packets_T3.npz"
+        blob = segment.read_bytes()
+        segment.write_bytes(blob[:len(blob) // 2])
+        with pytest.raises(StoreError) as exc_info:
+            load_corpus(saved)
+        assert exc_info.value.check == "sha256"
+        assert exc_info.value.path == segment
+
+    def test_bit_flipped_segment(self, saved):
+        segment = saved / "packets_T1.npz"
+        blob = bytearray(segment.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        segment.write_bytes(bytes(blob))
+        with pytest.raises(StoreError) as exc_info:
+            load_corpus(saved)
+        assert exc_info.value.check == "sha256"
+
+    def test_missing_segment(self, saved):
+        (saved / "packets_T4.npz").unlink()
+        with pytest.raises(StoreError) as exc_info:
+            load_corpus(saved)
+        assert exc_info.value.check == "exists"
+
+    def test_legacy_meta_truncated_segment_wrapped(self, saved):
+        """Without stored checksums the raw numpy/zip failure still
+        surfaces as StoreError, not a raw traceback."""
+        import json as _json
+        meta_path = saved / "meta.json"
+        meta = _json.loads(meta_path.read_text())
+        del meta["checksums"]
+        meta_path.write_text(_json.dumps(meta))
+        segment = saved / "packets_T2.npz"
+        blob = segment.read_bytes()
+        segment.write_bytes(blob[:len(blob) // 3])
+        with pytest.raises(StoreError) as exc_info:
+            load_corpus(saved)
+        assert exc_info.value.check == "read"
+
+    def test_lenient_load_quarantines(self, saved, tiny_corpus):
+        import warnings
+        from repro.analysis.degrade import DegradationWarning
+        segment = saved / "packets_T3.npz"
+        blob = segment.read_bytes()
+        segment.write_bytes(blob[:len(blob) // 2])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            corpus = load_corpus(saved, strict=False)
+        warned = [w for w in caught
+                  if issubclass(w.category, DegradationWarning)]
+        assert warned and warned[0].message.telescope == "T3"
+        assert len(corpus.table("T3")) == 0
+        assert corpus.coverage_gaps["T3"] \
+            == ((0.0, corpus.config.duration),)
+        assert len(corpus.table("T1")) == len(tiny_corpus.table("T1"))
+
+    def test_coverage_gaps_round_trip(self, tmp_path, tiny_corpus):
+        import dataclasses
+        gapped = dataclasses.replace(
+            tiny_corpus, coverage_gaps={"T2": ((10.0, 20.0),)},
+            packets_by_telescope=dict(tiny_corpus.packets_by_telescope),
+            tables_by_telescope=dict(tiny_corpus.tables_by_telescope))
+        path = tmp_path / "gapped"
+        save_corpus(gapped, path)
+        loaded = load_corpus(path)
+        assert loaded.coverage_gaps == {"T2": ((10.0, 20.0),)}
