@@ -18,7 +18,13 @@ production throughput:
 - ``robustness`` — the same campaign with crash-safe checkpointing at
   the default cadence and budget, reporting the setup-snapshot cost and
   the in-simulate snapshot overhead (which the budget guard must keep
-  under 5% of the simulate stage).
+  under 5% of the simulate stage);
+- ``shard_scaling`` — the sharded multi-process builder at 1/2/4
+  shards vs a fresh uninstrumented unsharded build (digest-checked
+  byte-identical), reporting the critical path (coordinator recording
+  pass CPU + worst worker simulate+flush CPU, each worker alone in a
+  fresh process) and speedup (see ``bench_shard_scaling.py`` for the
+  methodology).
 
 The cold-analysis timings run with *no* recorder installed, so they
 measure the disabled-instrumentation path a production analysis sees.
@@ -49,6 +55,8 @@ from repro.analysis.parallel import fan_out
 from repro.core.aggregation import AggregationLevel
 from repro.experiment import ExperimentConfig, Phase, run_experiment
 from repro.experiment.checkpoint import list_checkpoints
+
+from bench_shard_scaling import bench_shard_scaling
 
 COLD_LEVELS = (AggregationLevel.ADDR, AggregationLevel.SUBNET)
 TABLES = {
@@ -101,6 +109,10 @@ def main() -> None:
     parser.add_argument("--skip-robustness", action="store_true",
                         help="skip the checkpointed-build timing (one "
                              "extra full campaign)")
+    parser.add_argument("--skip-shards", action="store_true",
+                        help="skip the shard-scaling sweep (several extra "
+                             "full campaigns: unsharded + 1/2/4 shards, "
+                             "twice each)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker threads for the table fan-out "
                              "(default 1: serial, per-table timings "
@@ -169,6 +181,18 @@ def main() -> None:
               f"{kept} checkpoints kept)")
         del ck_result
 
+    shard_scaling = None
+    if not args.skip_shards:
+        print("  shard scaling (1/2/4 shards, digest-checked) ...")
+        shard_scaling = bench_shard_scaling(
+            args.seed, args.scale, baseline_result=result)
+        for count, run in shard_scaling["shards"].items():
+            print(f"    shards={count}: critical path "
+                  f"{run['critical_path_cpu']:.2f}s CPU "
+                  f"(record {run['record_timeline_cpu']:.2f}s + worst "
+                  f"worker {run['worst_shard_cpu']:.2f}s) "
+                  f"-> {run['speedup']}x")
+
     columnar_seconds, columnar_sessions = cold_analysis(corpus, True)
     print(f"  cold analysis (columnar): first {columnar_seconds['first']:.3f}s"
           f" / best {columnar_seconds['best']:.3f}s "
@@ -231,6 +255,7 @@ def main() -> None:
         },
         "sessions": {"cold_total": columnar_sessions},
         "robustness": robustness,
+        "shard_scaling": shard_scaling,
         "speedup_cold_analysis": {
             "first": round(legacy_seconds["first"]
                            / columnar_seconds["first"], 2),

@@ -12,12 +12,20 @@ failures — a figure racing a cache fill, an OS hiccup — usually clear on
 the second attempt), and if the retry also fails the task runs once more
 serially outside the pool before its exception propagates. Each recovery
 step bumps an ``analysis.fanout_*`` counter so flakes are visible.
+
+Callers that already own a pool (the sharded corpus builder, a CLI run
+doing several fan-outs) can inject it via ``executor=`` instead of
+paying pool startup per call. The injected executor may be a thread or a
+process pool; the per-task wrapper is a module-level function, so the
+submission itself always pickles — with a *process* pool the tasks
+themselves must be picklable too (module-level callables or partials,
+not lambdas or closures).
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor, ThreadPoolExecutor
 from typing import Callable, Mapping
 
 from repro import obs
@@ -27,41 +35,57 @@ from repro.errors import AnalysisError
 RETRY_BACKOFF = 0.05
 
 
+def _run_once(name: str, fn: Callable[[], object], jobs: int,
+              attempt: int) -> tuple[float, object]:
+    started = time.perf_counter()
+    with obs.span("analysis.fanout", task=name, jobs=jobs,
+                  attempt=attempt):
+        result = fn()
+    return time.perf_counter() - started, result
+
+
+def _run_with_retry(name: str, fn: Callable[[], object], jobs: int) \
+        -> tuple[float, object]:
+    """One task with its bounded in-pool retry.
+
+    Module-level (not a closure) so an injected process pool can pickle
+    the submission. Inside a process-pool worker the retry counter lands
+    in the worker's registry — fold it back explicitly if it matters.
+    """
+    try:
+        return _run_once(name, fn, jobs, attempt=1)
+    except Exception:
+        obs.add("analysis.fanout_retries_total", task=name)
+        time.sleep(RETRY_BACKOFF)
+        return _run_once(name, fn, jobs, attempt=2)
+
+
 def fan_out(tasks: Mapping[str, Callable[[], object]],
-            jobs: int = 1) -> dict[str, tuple[float, object]]:
-    """Run named zero-arg tasks, optionally across ``jobs`` threads.
+            jobs: int = 1,
+            executor: Executor | None = None) \
+        -> dict[str, tuple[float, object]]:
+    """Run named zero-arg tasks, optionally across ``jobs`` workers.
 
     Returns ``{name: (seconds, result)}`` in the tasks' insertion order
     regardless of completion order, so callers render deterministically.
     A task that keeps failing after one bounded retry and a final serial
     fallback propagates its last exception.
+
+    ``executor`` injects a shared pool (thread or process) instead of
+    spinning up a private thread pool; it is left running for the caller
+    to reuse and eventually shut down.
     """
     if jobs < 1:
         raise AnalysisError(f"jobs must be >= 1, got {jobs}")
 
-    def run_once(name: str, fn: Callable[[], object], attempt: int) \
-            -> tuple[float, object]:
-        started = time.perf_counter()
-        with obs.span("analysis.fanout", task=name, jobs=jobs,
-                      attempt=attempt):
-            result = fn()
-        return time.perf_counter() - started, result
-
-    def run_with_retry(name: str, fn: Callable[[], object]) \
-            -> tuple[float, object]:
-        try:
-            return run_once(name, fn, attempt=1)
-        except Exception:
-            obs.add("analysis.fanout_retries_total", task=name)
-            time.sleep(RETRY_BACKOFF)
-            return run_once(name, fn, attempt=2)
-
-    if jobs == 1 or len(tasks) <= 1:
-        return {name: run_with_retry(name, fn)
+    if executor is None and (jobs == 1 or len(tasks) <= 1):
+        return {name: _run_with_retry(name, fn, jobs)
                 for name, fn in tasks.items()}
 
-    with ThreadPoolExecutor(max_workers=jobs) as pool:
-        futures = {name: pool.submit(run_with_retry, name, fn)
+    pool = executor if executor is not None \
+        else ThreadPoolExecutor(max_workers=jobs)
+    try:
+        futures = {name: pool.submit(_run_with_retry, name, fn, jobs)
                    for name, fn in tasks.items()}
         results: dict[str, tuple[float, object]] = {}
         failed: dict[str, Callable[[], object]] = {}
@@ -70,10 +94,13 @@ def fan_out(tasks: Mapping[str, Callable[[], object]],
                 results[name] = future.result()
             except Exception:
                 failed[name] = tasks[name]
+    finally:
+        if executor is None:
+            pool.shutdown(wait=True)
     for name, fn in failed.items():
         # last resort: run the crashed task serially, outside the pool,
-        # so one bad thread interaction cannot sink the whole fan-out
+        # so one bad worker interaction cannot sink the whole fan-out
         obs.add("analysis.fanout_serial_fallbacks_total", task=name)
-        results[name] = run_once(name, fn, attempt=3)
+        results[name] = _run_once(name, fn, jobs, attempt=3)
     # re-impose insertion order after fallbacks appended at the end
     return {name: results[name] for name in tasks}

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.bgp.messages import Announcement, UpdateKind, Withdrawal
 from repro.bgp.speaker import BGPNetwork
@@ -78,6 +78,30 @@ class RouteCollector:
     def _publish(self, time: float, entry: CollectorEntry) -> None:
         for subscriber in self._subscribers:
             subscriber(time, entry)
+
+    # -- recorded-timeline replay ----------------------------------------------
+
+    def arm_replay(self, feed: "Sequence[CollectorEntry]") -> None:
+        """Schedule a recorded journal for replay instead of a live tap.
+
+        ``feed`` is the journal of a collector that watched the real
+        fabric (the coordinator's recording pass in a sharded build,
+        DESIGN §8). Subscribers couple to the collector only through
+        :meth:`_publish` callbacks, so replaying publications alone —
+        one event per entry at ``entry.time + feed_delay``, armed in
+        journal order so equal-time publications keep their recorded
+        order — is indistinguishable from a live feed. The journal and
+        prefix-state queries of a replaying collector are *not*
+        maintained during the run; they are post-run surfaces and shard
+        workers are discarded after spilling their segments.
+        """
+        for entry in feed:
+            publish_at = entry.time + self.feed_delay
+            self.simulator.schedule_at(
+                max(publish_at, self.simulator.now),
+                partial(self._publish, publish_at, entry),
+                label="collector:replay",
+            )
 
     # -- query interface -------------------------------------------------------
 

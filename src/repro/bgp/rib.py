@@ -11,7 +11,7 @@ follows the standard Gao-Rexford-compatible decision process:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.net.prefix import Prefix
 from repro.net.trie import PrefixTrie
@@ -35,6 +35,16 @@ class Route:
     as_path: tuple[int, ...]
     neighbor: int
     local_pref: int
+    #: precomputed :meth:`preference_key` — routes are compared a few
+    #: times per received update during convergence storms, so the key
+    #: tuple is built once at construction instead of per comparison.
+    pref_key: tuple[int, int, int] = field(
+        default=(), init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "pref_key",
+            (-self.local_pref, len(self.as_path), self.neighbor))
 
     @property
     def origin(self) -> int:
@@ -42,7 +52,7 @@ class Route:
 
     def preference_key(self) -> tuple[int, int, int]:
         """Sort key: better routes have *smaller* keys."""
-        return (-self.local_pref, len(self.as_path), self.neighbor)
+        return self.pref_key
 
 
 class AdjRibIn:
@@ -71,39 +81,49 @@ class LocRib:
     """Selected best routes, with longest-prefix data-plane lookup.
 
     Exact-prefix operations (the control-plane hot path: ``best`` after
-    every received update) go through a plain dict; the trie only serves
-    the data-plane longest-prefix match.
+    every received update) go through a plain dict. The trie only serves
+    the data-plane longest-prefix match, and almost no run ever asks for
+    it — so it is built lazily from the dict on first use and discarded
+    on any change, instead of paying a 128-level descend per install
+    during convergence storms.
     """
 
     def __init__(self) -> None:
-        self._trie: PrefixTrie[Route] = PrefixTrie()
+        self._trie: PrefixTrie[Route] | None = None
         self._exact: dict[Prefix, Route] = {}
 
     def __len__(self) -> int:
         return len(self._exact)
 
     def install(self, route: Route) -> None:
-        self._trie.insert(route.prefix, route)
         self._exact[route.prefix] = route
+        self._trie = None
 
     def uninstall(self, prefix: Prefix) -> Route | None:
-        self._exact.pop(prefix, None)
-        try:
-            return self._trie.remove(prefix)
-        except KeyError:
-            return None
+        removed = self._exact.pop(prefix, None)
+        if removed is not None:
+            self._trie = None
+        return removed
 
     def best(self, prefix: Prefix) -> Route | None:
         """Exact-match best route for ``prefix``."""
         return self._exact.get(prefix)
 
+    def _ensure_trie(self) -> PrefixTrie[Route]:
+        if self._trie is None:
+            trie: PrefixTrie[Route] = PrefixTrie()
+            for prefix, route in self._exact.items():
+                trie.insert(prefix, route)
+            self._trie = trie
+        return self._trie
+
     def resolve(self, addr: int) -> Route | None:
         """Longest-prefix-match data-plane lookup for an address."""
-        hit = self._trie.longest_match(addr)
+        hit = self._ensure_trie().longest_match(addr)
         return hit[1] if hit else None
 
     def routes(self) -> list[Route]:
-        return [route for _, route in self._trie.items()]
+        return [route for _, route in self._ensure_trie().items()]
 
     def prefixes(self) -> list[Prefix]:
-        return [prefix for prefix, _ in self._trie.items()]
+        return [prefix for prefix, _ in self._ensure_trie().items()]

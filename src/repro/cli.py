@@ -96,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="continue from the newest valid checkpoint "
                               "in --checkpoint-dir instead of starting "
                               "fresh")
+        cmd.add_argument("--shards", metavar="N|auto", default=None,
+                         help="build the corpus with N worker processes "
+                              "('auto' = one per CPU); byte-identical "
+                              "to the unsharded build, incompatible "
+                              "with --checkpoint-dir")
         _add_obs_flags(cmd)
         if name in ("tables", "figures"):
             cmd.add_argument("--jobs", type=int, default=1,
@@ -151,10 +156,14 @@ def _simulate(args: argparse.Namespace):
         log.info("simulating %.0f weeks at scale %s (seed %s) ...",
                  weeks, args.scale, args.seed)
         budget = getattr(args, "checkpoint_budget", 0.05)
+        shards = getattr(args, "shards", None)
+        if shards is not None:
+            log.info("sharded build: --shards %s", shards)
         result = run_experiment(
             config, faults=faults, checkpoint_dir=checkpoint_dir,
             checkpoint_interval=getattr(args, "checkpoint_every", None),
-            checkpoint_budget=budget if budget > 0 else None)
+            checkpoint_budget=budget if budget > 0 else None,
+            shards=shards)
     log.info("done in %.1fs: %s packets",
              result.wall_seconds, f"{result.corpus.total_packets():,}")
     return result

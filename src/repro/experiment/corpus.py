@@ -24,6 +24,38 @@ from repro.telescope.packet import Packet
 TELESCOPE_NAMES = ("T1", "T2", "T3", "T4")
 
 
+def merge_shard_tables(
+        segments: dict[str, list[PacketTable]]) -> dict[str, PacketTable]:
+    """Merge per-shard columnar segments into one table per telescope.
+
+    Reconstructs the exact unsharded byte layout: the batched emission
+    path flushes scanners in canonical ``scanner_id`` order (see
+    :meth:`repro.scanners.base.ScannerContext.flush_batches`), so an
+    unsharded capture appends per-scanner row groups in scanner-ID
+    order and snapshots them through a stable time sort — so its byte
+    layout is time-major, with equal-time ties in scanner-ID order and
+    full ties in each scanner's own emission order. Each worker segment
+    holds the identical row groups for its own (disjoint) scanners, so
+    one stable ``(time, scanner_id)`` lexsort of the concatenated
+    segments reproduces the unsharded table byte-for-byte, for any
+    shard count and any partitioning (DESIGN §8). Telescopes missing
+    from ``segments`` come back as empty tables.
+    """
+    import numpy as np
+
+    from repro.core.columnar import concat_tables
+    merged: dict[str, PacketTable] = {}
+    for name in TELESCOPE_NAMES:
+        table = concat_tables(segments.get(name, []))
+        if len(table):
+            # lexsort is stable: primary time, secondary scanner_id,
+            # original (per-scanner emission) order for full ties
+            order = np.lexsort((table.scanner_id, table.time))
+            table = table.take(order)
+        merged[name] = table
+    return merged
+
+
 @dataclass
 class PacketCorpus:
     """Captured packets plus metadata lookups.

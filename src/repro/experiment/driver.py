@@ -19,14 +19,17 @@ otherwise a private throwaway tracer measures the same stages so
 from __future__ import annotations
 
 import math
+import tempfile
 import time as _time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro import obs
+from repro.bgp.messages import UpdateKind
+from repro.errors import ExperimentError
 from repro.experiment import checkpoint as ckpt
 from repro.experiment.config import ExperimentConfig
-from repro.experiment.corpus import PacketCorpus
+from repro.experiment.corpus import PacketCorpus, merge_shard_tables
 from repro.faults import FaultInjector, FaultPlan
 from repro.scanners.base import (Scanner, ScannerContext, SourceModel,
                                  batch_emit_default)
@@ -48,6 +51,13 @@ class ExperimentResult:
     context: ScannerContext
     wall_seconds: float
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: CPU (process) seconds of coordinator stages that matter for
+    #: scaling accounting — currently only ``record_timeline`` of a
+    #: sharded build; empty for unsharded runs.
+    stage_cpu_seconds: dict[str, float] = field(default_factory=dict)
+    #: per-worker results of a sharded build (segment row counts, wall
+    #: and CPU seconds per worker stage) — ``None`` for unsharded runs.
+    shard_stats: list[dict] | None = field(default=None, repr=False)
     _scanner_index: dict[int, Scanner] | None = field(
         default=None, repr=False, compare=False)
 
@@ -68,7 +78,12 @@ class ExperimentResult:
 #: Stage names, in execution order, as they appear in ``stage_seconds``
 #: and as ``driver.<stage>`` tracing spans. When a fault plan is armed an
 #: extra ``install_faults`` stage runs (and is timed) between
-#: ``schedule_scanners`` and ``simulate``.
+#: ``schedule_scanners`` and ``simulate``. A sharded run (``shards=``)
+#: replaces ``simulate`` and ``flush_batches`` with a coordinator
+#: ``record_timeline`` stage (the infrastructure-only recording pass)
+#: followed by one ``shard_simulate`` stage covering the whole worker
+#: fan-out; the per-worker breakdown lands in
+#: :attr:`ExperimentResult.shard_stats`.
 STAGES = ("build_deployment", "build_population", "schedule_scanners",
           "simulate", "flush_batches", "package_corpus")
 
@@ -91,7 +106,9 @@ def run_experiment(config: ExperimentConfig | None = None,
                    checkpoint_interval: float | None = None,
                    checkpoint_keep: int = 2,
                    checkpoint_budget: float | None = DEFAULT_CHECKPOINT_BUDGET,
-                   after_checkpoint=None) -> ExperimentResult:
+                   after_checkpoint=None,
+                   shards: int | str | None = None,
+                   shard_executor=None) -> ExperimentResult:
     """Run one full measurement campaign and return its result.
 
     ``faults`` arms a :class:`repro.faults.FaultPlan` (or a prebuilt
@@ -106,6 +123,17 @@ def run_experiment(config: ExperimentConfig | None = None,
     that fraction of wall time (boundaries over budget are skipped;
     ``None`` writes every boundary). ``after_checkpoint`` is called with
     each written path (test hook).
+
+    ``shards`` (an int or ``"auto"``) partitions the scanner population
+    across that many worker processes, each running its own event loop
+    against a replica of the deployment; the merged corpus is
+    byte-identical to the unsharded build (DESIGN §8). Sharding requires
+    the batched emission path and is mutually exclusive with
+    ``checkpoint_dir`` — worker event loops have no shared barrier to
+    snapshot at, so combining the two raises :class:`ExperimentError`
+    rather than silently corrupting restart points. ``shard_executor``
+    injects a reusable process pool (see
+    :func:`repro.experiment.sharding.shard_pool`).
     """
     started = _time.monotonic()
     if config is None:
@@ -113,6 +141,18 @@ def run_experiment(config: ExperimentConfig | None = None,
     recorder = obs.current()
     tracer = recorder.tracer if recorder is not None else obs.Tracer()
     stage_seconds: dict[str, float] = {}
+
+    if shards is not None:
+        from repro.experiment import sharding
+        num_shards = sharding.resolve_shards(shards)
+        if checkpoint_dir is not None:
+            raise ExperimentError(
+                f"cannot checkpoint a sharded run (shards={num_shards}): "
+                "the worker event loops have no shared epoch barrier to "
+                "snapshot at — drop checkpoint_dir, or run with "
+                "shards=None to checkpoint")
+        return _run_sharded(config, registry, faults, num_shards,
+                            shard_executor, tracer, recorder, started)
 
     with tracer.span("driver.run_experiment",
                      seed=config.seed, scale=config.scale):
@@ -190,6 +230,168 @@ def run_experiment(config: ExperimentConfig | None = None,
         return _finish_run(config, registry, deployment, population,
                            context, injector, manager, stage_seconds,
                            tracer, recorder, started)
+
+
+def _run_sharded(config, registry, faults, num_shards, shard_executor,
+                 tracer, recorder, started) -> ExperimentResult:
+    """Coordinator side of a sharded build (DESIGN §8).
+
+    Builds its own deployment/population replica for the corpus metadata
+    and the result's ground-truth handles, then simulates it once with
+    *no scanners scheduled* — the recording pass. Only infrastructure
+    events run (BGP flood, announcement schedule, fault flaps), and the
+    collector journal they produce is the routing timeline the workers
+    replay instead of each re-running the convergence flood. All packet
+    emission happens in the shard workers, whose spilled segments are
+    merged (verified) at ``package_corpus``.
+    """
+    from repro.experiment import sharding
+
+    batch_emit = config.batch_emit if config.batch_emit is not None \
+        else batch_emit_default()
+    if not batch_emit:
+        raise ExperimentError(
+            "sharded runs require the batched emission path — "
+            "config.batch_emit must not be False (and REPRO_LEGACY_EMIT "
+            "must not force the per-packet oracle)")
+    plan = faults.plan if isinstance(faults, FaultInjector) else faults
+
+    stage_seconds: dict[str, float] = {}
+    with tracer.span("driver.run_experiment", seed=config.seed,
+                     scale=config.scale, shards=num_shards):
+        streams = RngStreams(config.seed)
+        with tracer.span("driver.build_deployment") as sp:
+            deployment = build_deployment(
+                streams,
+                baseline_weeks=config.baseline_weeks,
+                cycle_weeks=config.cycle_weeks,
+                num_cycles=config.num_cycles,
+                num_tier1=config.num_tier1,
+                num_tier2=config.num_tier2,
+                num_stubs=config.num_stubs,
+                feed_delay=config.feed_delay)
+        stage_seconds["build_deployment"] = sp.duration
+        if registry is None:
+            registry = ASRegistry()
+
+        inputs = PopulationInputs(
+            schedule=deployment.cycles(),
+            announced=deployment.announced_t1_prefixes,
+            t1_prefix=T1_PREFIX,
+            t2_prefix=T2_PREFIX,
+            t3_prefix=T3_PREFIX,
+            t4_prefix=T4_PREFIX,
+            attractor_addr=deployment.productive.attractor_addr,
+            duration=config.duration)
+        with tracer.span("driver.build_population") as sp:
+            population = build_population(config.population, inputs,
+                                          registry, streams)
+        stage_seconds["build_population"] = sp.duration
+
+        context = ScannerContext(
+            simulator=deployment.simulator,
+            route=deployment.route,
+            route_batch=deployment.route_batch,
+            batch_emit=True,
+            defer_batch=True,
+            collector=deployment.collector,
+            window_start=0.0,
+            window_end=config.duration)
+
+        # the coordinator replica never runs: scanners are registered
+        # (RDNS for the corpus resolver) but not started
+        with tracer.span("driver.schedule_scanners",
+                         scanners=len(population), sharded=True) as sp:
+            for scanner in population:
+                _register_rdns(deployment, scanner)
+        stage_seconds["schedule_scanners"] = sp.duration
+
+        injector: FaultInjector | None = None
+        if plan is not None:
+            injector = faults if isinstance(faults, FaultInjector) \
+                else FaultInjector(plan, seed=config.seed)
+            with tracer.span("driver.install_faults") as sp:
+                # arms blackout windows on the coordinator captures so
+                # coverage gaps package correctly; the flap events fire
+                # during the recording pass below, baking the fault's
+                # BGP activity into the recorded timeline
+                injector.install(deployment)
+            stage_seconds["install_faults"] = sp.duration
+
+        # recording pass: with no scanners scheduled, only the
+        # infrastructure events run. Its collector journal is the
+        # routing timeline the workers replay (DESIGN §8), so the BGP
+        # convergence flood is simulated exactly once per campaign.
+        with tracer.span("driver.record_timeline") as sp:
+            cpu_before = _time.process_time()
+            deployment.simulator.run_until(config.duration)
+            stage_cpu = {"record_timeline":
+                         _time.process_time() - cpu_before}
+            # ship announcements only: every feed subscriber a worker can
+            # host (reactive scanners, the hitlist service) returns
+            # immediately on non-ANNOUNCE entries, so replaying withdrawals
+            # would schedule thousands of per-worker no-op events
+            feed = tuple(e for e in deployment.collector.journal
+                         if e.kind is UpdateKind.ANNOUNCE)
+        stage_seconds["record_timeline"] = sp.duration
+
+        with tempfile.TemporaryDirectory(prefix="repro-shards-") as spill:
+            with tracer.span("driver.shard_simulate",
+                             shards=num_shards) as sp:
+                shard_results = sharding.run_shards(
+                    config, plan, num_shards, spill,
+                    executor=shard_executor, feed=feed,
+                    record_obs=recorder is not None)
+            stage_seconds["shard_simulate"] = sp.duration
+            _fold_shard_obs(recorder, shard_results)
+            context.packets_emitted = sum(
+                r["packets_emitted"] for r in shard_results)
+            context.packets_unrouted = sum(
+                r["packets_unrouted"] for r in shard_results)
+
+            with tracer.span("driver.package_corpus",
+                             shards=num_shards) as sp:
+                tables = merge_shard_tables(
+                    sharding.load_shard_segments(shard_results))
+                corpus = PacketCorpus(
+                    config=config,
+                    packets_by_telescope=None,
+                    tables_by_telescope=tables,
+                    schedule=deployment.cycles(),
+                    registry=registry,
+                    resolver=deployment.resolver,
+                    t1_prefix=T1_PREFIX,
+                    t2_prefix=T2_PREFIX,
+                    t3_prefix=T3_PREFIX,
+                    t4_prefix=T4_PREFIX,
+                    attractor_addr=deployment.productive.attractor_addr,
+                    coverage_gaps={
+                        name: tuple(telescope.capture.blackout_windows)
+                        for name, telescope in deployment.telescopes.items()
+                        if telescope.capture.blackout_windows})
+            stage_seconds["package_corpus"] = sp.duration
+
+    return ExperimentResult(
+        corpus=corpus, deployment=deployment, population=population,
+        context=context, wall_seconds=_time.monotonic() - started,
+        stage_seconds=stage_seconds, stage_cpu_seconds=stage_cpu,
+        shard_stats=[{k: v for k, v in res.items() if k != "metrics"}
+                     for res in shard_results])
+
+
+def _fold_shard_obs(recorder, shard_results) -> None:
+    """Surface worker metrics and timings in the coordinator registry.
+
+    Every folded series gains a ``shard=<i>`` label, so worker counters
+    stay attributable and never collide with the coordinator's own.
+    """
+    if recorder is None:
+        return
+    for res in shard_results:
+        recorder.metrics.merge_snapshot(res["metrics"], shard=res["shard"])
+        for stage, seconds in res["stage_seconds"].items():
+            recorder.metrics.gauge("shard.stage_seconds", stage=stage,
+                                   shard=res["shard"]).set(seconds)
 
 
 def resume_experiment(checkpoint_dir: str | Path,

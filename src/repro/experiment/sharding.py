@@ -1,0 +1,429 @@
+"""Sharded multi-process corpus builder (DESIGN §8).
+
+Partitions the scanner population across worker processes and runs the
+event loop per shard. Each worker owns:
+
+- a **disjoint subset of scanners** — a deterministic cost-balanced
+  LPT assignment (:func:`weighted_assignment`) every worker derives
+  identically from its population replica; every scanner draws from its
+  own named RNG stream (:meth:`repro.sim.rng.RngStreams.fresh`), so
+  skipping the scanners of other shards does not perturb a single draw
+  of the scanners kept;
+- a **replica of the deployment** — rebuilt from ``(config.seed,
+  config)`` with its own :class:`Simulator`. The routing data plane is
+  driven by the static announcement schedule, so workers never run the
+  BGP convergence flood: the coordinator simulates the fabric once (its
+  replica with no scanners scheduled), records the collector journal,
+  and ships it in the :class:`ShardTask` for the worker's collector to
+  replay (:meth:`repro.bgp.collector.RouteCollector.arm_replay`) —
+  reactive scanners and the hitlist see publication-identical feeds;
+- its own **batched-emission pipeline** producing per-shard
+  :class:`~repro.core.columnar.PacketTable` segments, spilled as
+  store-layout ``.npz`` files with sha256 integrity and handed back to
+  the coordinator by path.
+
+The coordinator reloads the segments through the store's verified
+:func:`repro.experiment.store._load_segment` and merges them with a
+stable ``(time, scanner_id)`` lexsort
+(:func:`repro.experiment.corpus.merge_shard_tables`), which reproduces
+the unsharded table byte-for-byte for any shard count and any
+partitioning — the differential tests in ``tests/test_sharding.py`` pin
+this with ``corpus_digest`` as the oracle.
+
+Workers are stateless: every task rebuilds its world from the picklable
+:class:`ShardTask`, so any process pool (fresh, reused, fork or spawn)
+executes it correctly. The pool plugs into
+:func:`repro.analysis.parallel.fan_out` via its injected-executor path,
+sharing one worker pool between the sharded builder and ``--jobs``
+analysis fan-outs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from contextlib import nullcontext
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro import obs
+from repro.analysis.parallel import fan_out
+from repro.bgp.collector import CollectorEntry
+from repro.bgp.messages import UpdateKind
+from repro.core.columnar import PacketTable
+from repro.errors import ExperimentError
+from repro.experiment.config import ExperimentConfig
+from repro.experiment.corpus import TELESCOPE_NAMES
+from repro.experiment.store import _load_segment, save_segment
+from repro.faults import FaultInjector, FaultPlan
+from repro.scanners.base import (ConstPackets, Scanner, ScannerContext,
+                                 TemporalKind, UniformPackets)
+from repro.scanners.population import PopulationInputs, build_population
+from repro.scanners.registry import ASRegistry
+from repro.sim.events import Simulator
+from repro.sim.rng import RngStreams
+from repro.telescope.deployment import (T1_PREFIX, T2_PREFIX, T3_PREFIX,
+                                        T4_PREFIX, build_deployment)
+
+_log = obs.log.get_logger("sharding")
+
+
+# -- partitioner -----------------------------------------------------------
+
+
+def resolve_shards(spec: int | str) -> int:
+    """Turn a ``--shards`` value (``N`` or ``"auto"``) into a count.
+
+    ``auto`` uses one shard per CPU available to this process.
+    """
+    if isinstance(spec, str):
+        if spec.strip().lower() == "auto":
+            try:
+                return max(1, len(os.sched_getaffinity(0)))
+            except AttributeError:  # pragma: no cover - non-Linux
+                return max(1, os.cpu_count() or 1)
+        try:
+            spec = int(spec)
+        except ValueError:
+            raise ExperimentError(
+                f"invalid shard count {spec!r} (expected an integer "
+                "or 'auto')") from None
+    count = int(spec)
+    if count < 1:
+        raise ExperimentError(f"shard count must be >= 1, got {count}")
+    return count
+
+
+def shard_of(scanner_id: int, num_shards: int) -> int:
+    """The shard owning ``scanner_id`` under the simple modulo mapping.
+
+    Plain modulo is total and stable by construction: independent of
+    population size and build order, and it spreads each ID block
+    (ordinary scanners from 1, the atlas fleet from 1_000_000, heavy
+    hitters from 2_000_000) across all shards instead of clustering a
+    whole class on one worker. The sharded builder itself balances by
+    *estimated cost* instead (:func:`weighted_assignment`); modulo
+    remains the partition for callers that only have IDs.
+    """
+    if num_shards < 1:
+        raise ExperimentError(f"shard count must be >= 1, got {num_shards}")
+    return scanner_id % num_shards
+
+
+def partition(scanner_ids: Iterable[int],
+              num_shards: int) -> list[list[int]]:
+    """Split scanner IDs into ``num_shards`` disjoint, exhaustive lists."""
+    shards: list[list[int]] = [[] for _ in range(resolve_shards(num_shards))]
+    for scanner_id in scanner_ids:
+        shards[shard_of(scanner_id, num_shards)].append(scanner_id)
+    return shards
+
+
+#: cost-model constants for :func:`scanner_weight` — packets-equivalent
+#: fixed cost of firing and flushing one session, expected packets per
+#: session when the sampler is opaque, the session multiplier for
+#: scanners that split each firing into one session per announced
+#: prefix, and the surcharge per *reaction* session (feed callback,
+#: ad-hoc scheduling and a tiny batch of its own make a reaction
+#: session dearer than a pre-scheduled one of the same size).
+_SESSION_COST = 20.0
+_DEFAULT_PACKETS = 8.0
+_SPREAD_FACTOR = 6.0
+_REACTION_EXTRA = 40.0
+
+
+def scanner_weight(scanner: Scanner, duration: float,
+                   announce_count: int = 0) -> float:
+    """Deterministic static estimate of a scanner's simulate+flush cost.
+
+    A pure function of the agent's construction parameters (temporal
+    schedule, session-size sampler, activity window) plus the number of
+    feed announcements a reactive scanner will see, so every worker
+    computes the identical weight table without coordination. Duck-typed
+    over the agent protocol: TGA agents carry ``period`` and
+    ``probes_per_round`` instead of a :class:`TemporalBehavior`. The
+    estimate only has to *rank* scanners well enough for load balancing;
+    corpus bytes never depend on the partition (the canonical flush
+    order and the merge lexsort are partition-agnostic).
+    """
+    active_start = getattr(scanner, "active_start", None)
+    active_end = getattr(scanner, "active_end", None)
+    start = 0.0 if active_start is None else max(0.0, active_start)
+    end = duration if active_end is None else min(duration, active_end)
+    span = max(0.0, end - start)
+    temporal = getattr(scanner, "temporal", None)
+    if temporal is None:
+        # TGA-style agent: fixed probe rounds on a fixed period
+        period = getattr(scanner, "period", 0.0)
+        sessions = 1.0 + span / period if period > 0 else 1.0
+        packets = float(getattr(scanner, "probes_per_round",
+                                _DEFAULT_PACKETS))
+        return sessions * (_SESSION_COST + packets)
+    if temporal.kind is TemporalKind.ONE_OFF:
+        sessions = 1.0 if span > 0 else 0.0
+    elif temporal.kind is TemporalKind.PERIODIC:
+        sessions = 1.0 + span / temporal.period if temporal.period > 0 else 1.0
+    elif temporal.kind is TemporalKind.INTERMITTENT:
+        sessions = 1.0 + span / temporal.mean_gap \
+            if temporal.mean_gap > 0 else 1.0
+    else:
+        sessions = 0.0
+    react_sessions = 0.0
+    if getattr(scanner, "reaction_delay", None) is not None and duration > 0:
+        # one extra session per feed announcement landing in the window
+        react_sessions = announce_count * (span / duration)
+    if getattr(scanner, "spread_prefix_sessions", False):
+        sessions *= _SPREAD_FACTOR
+    sampler = getattr(scanner, "packets_per_session", None)
+    if isinstance(sampler, ConstPackets):
+        packets = float(sampler.n)
+    elif isinstance(sampler, UniformPackets):
+        packets = (sampler.low + sampler.high) / 2.0
+    else:
+        packets = _DEFAULT_PACKETS
+    return (sessions + react_sessions) * (_SESSION_COST + packets) \
+        + react_sessions * _REACTION_EXTRA
+
+
+def weighted_assignment(population: "Sequence[Scanner]", num_shards: int,
+                        duration: float,
+                        announce_count: int = 0) -> dict[int, int]:
+    """LPT assignment of scanners to shards by estimated cost.
+
+    Longest-processing-time greedy: place scanners in descending weight
+    order onto the currently lightest shard. Ties break on ascending
+    scanner ID (sort) and lowest shard index (``min``), making the
+    assignment a pure function of ``(population, num_shards, duration,
+    announce_count)`` — every worker derives the same table from its
+    own population replica. The six heavy hitters own the majority of
+    all packets, so cost-blind modulo placement regularly stacks two of
+    them on one worker; LPT keeps the worst shard near the mean.
+    """
+    if num_shards < 1:
+        raise ExperimentError(f"shard count must be >= 1, got {num_shards}")
+    order = sorted(
+        ((scanner_weight(s, duration, announce_count), s.scanner_id)
+         for s in population),
+        key=lambda pair: (-pair[0], pair[1]))
+    loads = [0.0] * num_shards
+    assign: dict[int, int] = {}
+    for weight, scanner_id in order:
+        shard = min(range(num_shards), key=loads.__getitem__)
+        loads[shard] += weight
+        assign[scanner_id] = shard
+    return assign
+
+
+# -- worker ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker needs to rebuild and run its shard.
+
+    Deliberately limited to picklable, value-semantic fields so the task
+    crosses any process-pool boundary (fork or spawn) unchanged.
+    """
+
+    config: ExperimentConfig
+    plan: FaultPlan | None
+    shard: int
+    num_shards: int
+    spill_dir: str
+    #: announcements of the recorded collector journal (the
+    #: coordinator's recording pass) the worker replays instead of
+    #: simulating the BGP flood itself — withdrawals are pruned because
+    #: every subscriber a worker can host ignores them; ``None`` falls
+    #: back to the self-contained mode where the worker runs the full
+    #: fabric — slower, but needs no coordinator pass.
+    feed: tuple[CollectorEntry, ...] | None = None
+    #: run the worker under its own FlightRecorder and return a metrics
+    #: snapshot; the coordinator turns this off when it has no recorder
+    #: itself, sparing the workers the recording overhead.
+    record_obs: bool = True
+
+
+def run_shard(task: ShardTask) -> dict:
+    """Worker entrypoint: build, simulate, flush, and spill one shard.
+
+    Returns a plain dict (picklable) with the spill segment paths and
+    their sha256 digests, emission totals, per-stage wall and CPU
+    seconds, and the worker's metrics snapshot. CPU seconds are what the
+    scaling bench aggregates — on a machine with fewer cores than
+    shards, wall time includes time-slicing that says nothing about the
+    per-shard work.
+    """
+    config = task.config
+    stage_wall: dict[str, float] = {}
+    stage_cpu: dict[str, float] = {}
+    last = [time.perf_counter(), time.process_time()]
+
+    def stage(name: str) -> None:
+        now_wall, now_cpu = time.perf_counter(), time.process_time()
+        stage_wall[name] = now_wall - last[0]
+        stage_cpu[name] = now_cpu - last[1]
+        last[0], last[1] = now_wall, now_cpu
+
+    with (obs.FlightRecorder() if task.record_obs
+          else nullcontext()) as recorder:
+        with obs.span("shard.run", shard=task.shard,
+                      shards=task.num_shards):
+            streams = RngStreams(config.seed)
+            simulator = Simulator(shard=task.shard)
+            deployment = build_deployment(
+                streams,
+                simulator=simulator,
+                baseline_weeks=config.baseline_weeks,
+                cycle_weeks=config.cycle_weeks,
+                num_cycles=config.num_cycles,
+                num_tier1=config.num_tier1,
+                num_tier2=config.num_tier2,
+                num_stubs=config.num_stubs,
+                feed_delay=config.feed_delay,
+                replay_feed=task.feed)
+            registry = ASRegistry()
+            inputs = PopulationInputs(
+                schedule=deployment.cycles(),
+                announced=deployment.announced_t1_prefixes,
+                t1_prefix=T1_PREFIX,
+                t2_prefix=T2_PREFIX,
+                t3_prefix=T3_PREFIX,
+                t4_prefix=T4_PREFIX,
+                attractor_addr=deployment.productive.attractor_addr,
+                duration=config.duration)
+            # the population build is replayed in full — its shared
+            # assignment stream must see the same draw sequence as the
+            # unsharded build — and only then thinned to this shard
+            population = build_population(config.population, inputs,
+                                          registry, streams)
+            stage("build")
+
+            context = ScannerContext(
+                simulator=simulator,
+                route=deployment.route,
+                route_batch=deployment.route_batch,
+                batch_emit=True,
+                defer_batch=True,
+                collector=deployment.collector,
+                window_start=0.0,
+                window_end=config.duration)
+            announce_count = 0 if task.feed is None else sum(
+                1 for e in task.feed if e.kind is UpdateKind.ANNOUNCE)
+            assign = weighted_assignment(population, task.num_shards,
+                                         config.duration, announce_count)
+            mine = [s for s in population
+                    if assign[s.scanner_id] == task.shard]
+            for scanner in mine:
+                scanner.start(context)
+            if task.plan is not None:
+                # with a recorded feed the flap's BGP side is already in
+                # the journal; arm only the data-plane faults
+                FaultInjector(task.plan, seed=config.seed).install(
+                    deployment, control_plane=task.feed is None)
+            stage("schedule")
+
+            simulator.run_until(config.duration)
+            stage("simulate")
+
+            context.flush_batches()
+            stage("flush_batches")
+
+            segments: dict[str, dict] = {}
+            for name, telescope in deployment.telescopes.items():
+                table = telescope.capture.table()
+                path = Path(task.spill_dir) / \
+                    f"shard{task.shard:03d}_packets_{name}.npz"
+                sha = save_segment(table, path, compress=False)
+                segments[name] = {"path": str(path), "sha256": sha,
+                                  "rows": len(table)}
+            stage("spill")
+        snapshot = recorder.metrics.snapshot() \
+            if recorder is not None else {}
+
+    return {
+        "shard": task.shard,
+        "scanners": len(mine),
+        "segments": segments,
+        "packets_emitted": context.packets_emitted,
+        "packets_unrouted": context.packets_unrouted,
+        "stage_seconds": stage_wall,
+        "stage_cpu_seconds": stage_cpu,
+        "metrics": snapshot,
+    }
+
+
+# -- coordinator -----------------------------------------------------------
+
+
+def shard_pool(max_workers: int) -> ProcessPoolExecutor:
+    """Process pool for shard workers.
+
+    Prefers the fork start method (POSIX): workers inherit the parent's
+    imported modules copy-on-write, so task startup is milliseconds
+    instead of a fresh interpreter boot. Workers rebuild all *run* state
+    from the task itself, so the pool is safely reusable across calls —
+    hand it to :func:`repro.analysis.parallel.fan_out` or
+    ``run_experiment(shard_executor=...)`` as often as needed.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+    return ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx)
+
+
+def run_shards(config: ExperimentConfig,
+               plan: FaultPlan | None,
+               num_shards: int,
+               spill_dir: str | Path,
+               executor: Executor | None = None,
+               feed: tuple[CollectorEntry, ...] | None = None,
+               record_obs: bool = True) -> list[dict]:
+    """Fan the shard tasks out and return worker results in shard order.
+
+    ``feed`` is the recorded collector journal every worker replays
+    (see :class:`ShardTask`). Uses :func:`fan_out` with an injected
+    process pool, so shard workers get the same bounded-retry and
+    serial-fallback treatment as analysis tasks (a shard whose worker
+    dies twice reruns in the coordinator — slower, never wrong, and
+    counted in ``analysis.fanout_serial_fallbacks_total``).
+    """
+    tasks = {
+        f"shard-{index}": partial(run_shard, ShardTask(
+            config=config, plan=plan, shard=index,
+            num_shards=num_shards, spill_dir=str(spill_dir),
+            feed=feed, record_obs=record_obs))
+        for index in range(num_shards)}
+    pool = executor if executor is not None else shard_pool(num_shards)
+    try:
+        results = fan_out(tasks, jobs=num_shards, executor=pool)
+    finally:
+        if executor is None:
+            pool.shutdown(wait=True)
+    ordered = [results[f"shard-{index}"][1] for index in range(num_shards)]
+    for res in ordered:
+        _log.debug("shard %d: %d scanners, %d packets emitted",
+                   res["shard"], res["scanners"], res["packets_emitted"])
+    return ordered
+
+
+def load_shard_segments(results: Sequence[dict]) \
+        -> dict[str, list[PacketTable]]:
+    """Verified reload of every worker spill segment, in shard order.
+
+    Goes through the store's :func:`_load_segment`, so a segment that
+    was truncated or corrupted between spill and merge fails its sha256
+    check and raises :class:`repro.errors.StoreError` instead of
+    silently merging garbage.
+    """
+    segments: dict[str, list[PacketTable]] = {
+        name: [] for name in TELESCOPE_NAMES}
+    for res in sorted(results, key=lambda r: r["shard"]):
+        for name in TELESCOPE_NAMES:
+            info = res["segments"][name]
+            segments[name].append(
+                _load_segment(Path(info["path"]), info["sha256"]))
+    return segments

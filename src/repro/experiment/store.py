@@ -53,18 +53,9 @@ def save_corpus(corpus: PacketCorpus, path: str | Path) -> Path:
     for telescope in TELESCOPE_NAMES:
         # the columnar table IS the on-disk layout: its arrays are written
         # directly, with no per-packet Python loop
-        table = corpus.table(telescope)
-        payload_offsets, blob = table.payload_blob()
-        segment = directory / f"packets_{telescope}.npz"
-        np.savez_compressed(
-            segment,
-            time=table.time, src_hi=table.src_hi, src_lo=table.src_lo,
-            dst_hi=table.dst_hi, dst_lo=table.dst_lo,
-            proto=table.protocol, port=table.dst_port,
-            asn=table.src_asn, scanner=table.scanner_id,
-            payload_offsets=payload_offsets, payload_blob=blob)
-        checksums[telescope] = hashlib.sha256(
-            segment.read_bytes()).hexdigest()
+        checksums[telescope] = save_segment(
+            corpus.table(telescope),
+            directory / f"packets_{telescope}.npz")
 
     # the resolver only answers point queries, so RDNS entries are
     # persisted for every observed source address
@@ -215,6 +206,27 @@ def load_corpus(path: str | Path, strict: bool = True) -> PacketCorpus:
         t4_prefix=Prefix.parse(meta["prefixes"]["t4"]),
         attractor_addr=int(meta["attractor_addr"]),
         coverage_gaps=coverage_gaps)
+
+
+def save_segment(table: PacketTable, path: Path,
+                 compress: bool = True) -> str:
+    """Write one ``packets_*.npz`` segment; returns its sha256 digest.
+
+    The key layout is the store's canonical one, so anything written here
+    loads back through :func:`_load_segment` with full checksum
+    verification. ``compress=False`` trades disk for speed — the sharded
+    builder uses it for worker spill segments that live only for the
+    handoff to the coordinator.
+    """
+    payload_offsets, blob = table.payload_blob()
+    saver = np.savez_compressed if compress else np.savez
+    saver(path,
+          time=table.time, src_hi=table.src_hi, src_lo=table.src_lo,
+          dst_hi=table.dst_hi, dst_lo=table.dst_lo,
+          proto=table.protocol, port=table.dst_port,
+          asn=table.src_asn, scanner=table.scanner_id,
+          payload_offsets=payload_offsets, payload_blob=blob)
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
 
 
 def _load_segment(path: Path, expected_sha: str | None) -> PacketTable:

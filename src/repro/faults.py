@@ -15,8 +15,10 @@ built deployment:
   data plane treats T1 as unrouted for the window, and the routing-epoch
   machinery of ``route_batch`` gains boundaries at the flap edges;
 - **delivery loss** — each routed packet is dropped in flight with a
-  fixed probability, drawn from a dedicated named RNG stream so enabling
-  loss never perturbs any other stream;
+  fixed probability; the coin is a pure hash of ``(dst, time)`` under a
+  dedicated named seed, so enabling loss never perturbs any other stream
+  and the decision for a packet is independent of routing order (the
+  sharded builder relies on this);
 - **store corruption** — named corpus segments are bit-flipped after a
   save, for exercising the loader's checksum quarantine path.
 
@@ -170,12 +172,20 @@ class FaultInjector:
     blackouts_started: int = field(default=0, init=False)
     flaps_fired: int = field(default=0, init=False)
 
-    def install(self, deployment) -> None:
+    def install(self, deployment, control_plane: bool = True) -> None:
         """Arm every fault of the plan on ``deployment``.
 
         An empty plan is a strict no-op: no events are scheduled, no RNG
         streams are created, and the run is byte-identical to one without
         the fault layer.
+
+        ``control_plane=False`` arms only the data-plane side of the
+        plan — blackout windows, T1 outage edges for the routing epochs,
+        delivery loss — and skips the flap withdraw/re-announce events.
+        Shard workers replaying a recorded collector feed use this: the
+        flap's BGP activity already happened in the coordinator's
+        recording pass and is baked into the journal they replay, so
+        running it again would double-inject the control-plane fault.
         """
         if self.installed:
             raise FaultError("fault injector already installed")
@@ -200,6 +210,8 @@ class FaultInjector:
                         label=f"fault:blackout:{name}")
             for flap in self.plan.flaps:
                 deployment.add_t1_outage(flap.start, flap.end)
+                if not control_plane:
+                    continue
                 simulator.schedule_at(
                     flap.start, partial(self._flap_down, deployment, flap),
                     label="fault:flap-down")
@@ -208,8 +220,8 @@ class FaultInjector:
                     label="fault:flap-up")
             if self.plan.loss_rate > 0.0:
                 deployment.loss_rate = self.plan.loss_rate
-                deployment._loss_rng = \
-                    deployment.streams.fresh("faults.loss")
+                deployment.loss_seed = \
+                    deployment.streams.seed_for("faults.loss")
 
     # -- scheduled fault callbacks ----------------------------------------
 

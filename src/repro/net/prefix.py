@@ -8,7 +8,7 @@ behind the paper's bi-weekly announcement schedule, Fig. 2), and the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.errors import PrefixError
@@ -27,6 +27,12 @@ class Prefix:
 
     network: int
     length: int
+    #: cached ``hash((network, length))`` — prefixes key every RIB dict
+    #: in the BGP fabric, so recomputing the tuple hash per lookup
+    #: dominates update processing at convergence scale.
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+    _str: str | None = field(default=None, init=False, repr=False,
+                             compare=False)
 
     def __post_init__(self) -> None:
         if not 0 <= self.length <= ADDR_BITS:
@@ -36,6 +42,10 @@ class Prefix:
         masked = self.network & self.mask
         if masked != self.network:
             object.__setattr__(self, "network", masked)
+        object.__setattr__(self, "_hash", hash((self.network, self.length)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # -- constructors ------------------------------------------------------
 
@@ -80,7 +90,10 @@ class Prefix:
         return self.network | 1
 
     def __str__(self) -> str:
-        return f"{addr_to_str(self.network)}/{self.length}"
+        if self._str is None:
+            object.__setattr__(
+                self, "_str", f"{addr_to_str(self.network)}/{self.length}")
+        return self._str
 
     def __contains__(self, item: object) -> bool:
         if isinstance(item, Prefix):

@@ -41,6 +41,23 @@ def _render_key(name: str, labels: LabelItems) -> str:
     return f"{name}{{{inner}}}"
 
 
+def _parse_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`_render_key` for well-formed label values.
+
+    Label values containing ``,`` or ``=`` are ambiguous in the rendered
+    form and will not round-trip; the registry's own labels (telescope
+    names, task names, shard indices) never contain either.
+    """
+    name, brace, rest = key.partition("{")
+    if not brace:
+        return key, {}
+    labels: dict[str, str] = {}
+    for item in rest[:-1].split(","):
+        k, _, v = item.partition("=")
+        labels[k] = v
+    return name, labels
+
+
 class Counter:
     """Monotonically increasing counter."""
 
@@ -156,6 +173,17 @@ class Histogram:
         out["inf"] = self._counts[-1]
         return out
 
+    def merge_snapshot(self, data: dict) -> None:
+        """Fold a snapshot of a histogram with the same bounds into this
+        one; buckets absent on either side are left untouched."""
+        buckets = data.get("buckets", {})
+        with self._lock:
+            for index, bound in enumerate(self.bounds):
+                self._counts[index] += int(buckets.get(repr(bound), 0))
+            self._counts[-1] += int(buckets.get("inf", 0))
+            self._sum += float(data.get("sum", 0.0))
+            self._count += int(data.get("count", 0))
+
     def reset(self) -> None:
         with self._lock:
             self._counts = [0] * (len(self.bounds) + 1)
@@ -224,6 +252,32 @@ class MetricsRegistry:
                        + list(self._histograms.values()))
         for metric in metrics:
             metric.reset()
+
+    def merge_snapshot(self, snapshot: dict, **extra_labels: object) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used by the sharded corpus builder to surface worker-process
+        metrics in the coordinator's registry: counters add, gauges keep
+        the maximum observed value, histograms merge bucket counts (same
+        bounds assumed). ``extra_labels`` are appended to every folded
+        metric — pass ``shard=i`` so worker series stay attributable and
+        never collide with the coordinator's own.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            name, labels = _parse_key(key)
+            labels.update(extra_labels)
+            self.counter(name, **labels).inc(value)
+        for key, value in snapshot.get("gauges", {}).items():
+            name, labels = _parse_key(key)
+            labels.update(extra_labels)
+            self.gauge(name, **labels).set_max(value)
+        for key, data in snapshot.get("histograms", {}).items():
+            name, labels = _parse_key(key)
+            labels.update(extra_labels)
+            bounds = sorted(float(b) for b in data.get("buckets", {})
+                            if b != "inf")
+            self.histogram(name, bounds=bounds or None,
+                           **labels).merge_snapshot(data)
 
     # -- export ------------------------------------------------------------
 

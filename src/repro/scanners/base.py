@@ -218,10 +218,18 @@ class ScannerContext:
         (protocol/gap/payload draws cover the whole stream at once), so
         deferred and immediate batch runs agree in distribution, not
         packet-for-packet — same contract as batch vs legacy.
+
+        Scanners flush in ``scanner_id`` order, not first-fire order:
+        each flushes through its own private RNG, so the order is free —
+        and a canonical order makes the capture row layout independent
+        of event interleaving, which is what lets a sharded build merge
+        worker segments back into the exact unsharded byte layout
+        (DESIGN §8).
         """
         pending, self._pending = self._pending, {}
         total = 0
-        for scanner, sessions in pending.items():
+        for scanner in sorted(pending, key=lambda s: s.scanner_id):
+            sessions = pending[scanner]
             with obs.span("scanner.batch_emit", scanner=scanner.name,
                           sessions=len(sessions)):
                 total += scanner._flush_sessions(self, sessions)

@@ -11,12 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
+from typing import Sequence
 
 import numpy as np
 
 from repro import obs
 
-from repro.bgp.collector import RouteCollector
+from repro.bgp.collector import CollectorEntry, RouteCollector
 from repro.bgp.controller import (AnnouncementCycle, SplitController,
                                   build_split_schedule)
 from repro.bgp.lookingglass import LookingGlass
@@ -49,6 +50,33 @@ T4_PREFIX = Prefix.parse("3fff:4000:4::/48")
 TELESCOPE_ASN = 64500
 COVERING_ASN = 64499
 
+# splitmix64 finalizer constants for the delivery-loss hash coin.
+_MIX_A = np.uint64(0x9E3779B97F4A7C15)
+_MIX_B = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_C = np.uint64(0x94D049BB133111EB)
+
+
+def _loss_uniforms(dst_hi: np.ndarray, dst_lo: np.ndarray,
+                   time: np.ndarray, seed: int) -> np.ndarray:
+    """Per-packet uniform [0, 1) loss coins, as a pure function of packet.
+
+    Keyed on ``(dst, time, seed)`` through a splitmix64-style finalizer,
+    so the coin for a packet never depends on draw order: the scalar and
+    batch routing paths, a checkpoint/resume run, and every sharded
+    partition of the scanner population all flip the same coin for the
+    same packet.
+    """
+    with np.errstate(over="ignore"):
+        x = (np.ascontiguousarray(dst_hi, dtype=np.uint64)
+             ^ (np.ascontiguousarray(dst_lo, dtype=np.uint64) * _MIX_A)
+             ^ np.ascontiguousarray(time, dtype=np.float64).view(np.uint64)
+             ^ np.uint64(seed & 0xFFFF_FFFF_FFFF_FFFF))
+        x = (x ^ (x >> np.uint64(30))) * _MIX_B
+        x = (x ^ (x >> np.uint64(27))) * _MIX_C
+        x ^= x >> np.uint64(31)
+    # top 53 bits -> float64 in [0, 1), the usual uint64-to-double map
+    return (x >> np.uint64(11)).astype(np.float64) * (2.0 ** -53)
+
 
 @dataclass
 class Deployment:
@@ -75,9 +103,14 @@ class Deployment:
     #: injector (BGP session flaps); packets to T1 are unrouted inside.
     t1_outages: list[tuple[float, float]] = field(default_factory=list)
     #: probabilistic substrate delivery loss (fault injection); a routed
-    #: packet is dropped in flight with this probability.
+    #: packet is dropped in flight with this probability. The coin for a
+    #: packet is a pure hash of ``(dst, time, loss_seed)``, so the
+    #: decision depends only on the packet itself — never on how many
+    #: other packets were routed before it. That keeps faulted runs
+    #: byte-identical between the scalar and batch paths and across any
+    #: sharding of the scanner population.
     loss_rate: float = 0.0
-    _loss_rng: object = field(default=None, repr=False)
+    loss_seed: int = 0
     # routing-epoch machinery of route_batch, built lazily from the
     # controller schedule
     _epoch_boundaries: object = field(default=None, repr=False)
@@ -114,11 +147,16 @@ class Deployment:
     def _t1_down(self, now: float) -> bool:
         return any(start <= now < end for start, end in self.t1_outages)
 
-    def _lost(self) -> bool:
-        """One in-flight loss draw for the scalar routing path."""
+    def _lost(self, dst: int, now: float) -> bool:
+        """One in-flight loss coin for the scalar routing path."""
         if self.loss_rate <= 0.0:
             return False
-        if float(self._loss_rng.random()) < self.loss_rate:
+        coin = _loss_uniforms(
+            np.array([dst >> 64], dtype=np.uint64),
+            np.array([dst & 0xFFFF_FFFF_FFFF_FFFF], dtype=np.uint64),
+            np.array([now], dtype=np.float64),
+            self.loss_seed)
+        if float(coin[0]) < self.loss_rate:
             obs.add("faults.packets_lost_total")
             return True
         return False
@@ -134,11 +172,11 @@ class Deployment:
         if now is None:
             now = self.simulator.now
         if T2_PREFIX.contains_address(dst):
-            return None if self._lost() else self.telescopes["T2"]
+            return None if self._lost(dst, now) else self.telescopes["T2"]
         if T3_PREFIX.contains_address(dst):
-            return None if self._lost() else self.telescopes["T3"]
+            return None if self._lost(dst, now) else self.telescopes["T3"]
         if T4_PREFIX.contains_address(dst):
-            return None if self._lost() else self.telescopes["T4"]
+            return None if self._lost(dst, now) else self.telescopes["T4"]
         if COVERING_PREFIX.contains_address(dst):
             return None
         if T1_PREFIX.contains_address(dst):
@@ -149,7 +187,8 @@ class Deployment:
                 return None
             for prefix in cycle.prefixes:
                 if prefix.contains_address(dst):
-                    return None if self._lost() else self.telescopes["T1"]
+                    return None if self._lost(dst, now) \
+                        else self.telescopes["T1"]
         return None
 
     def _boundaries(self) -> np.ndarray:
@@ -209,16 +248,17 @@ class Deployment:
                 slots[rows] = self._epoch_matcher(int(epoch)).lookup(
                     dst_hi[rows], dst_lo[rows])
         if self.loss_rate > 0.0:
-            # one loss draw per *routed* row, mirroring the scalar path
-            routed = slots >= 0
-            n_routed = int(np.count_nonzero(routed))
-            if n_routed:
-                lost = self._loss_rng.random(n_routed) < self.loss_rate
+            # one hash coin per *routed* row — the same coin the scalar
+            # path computes for the same packet
+            rows = np.flatnonzero(slots >= 0)
+            if len(rows):
+                coins = _loss_uniforms(dst_hi[rows], dst_lo[rows],
+                                       time[rows], self.loss_seed)
+                lost = coins < self.loss_rate
                 n_lost = int(np.count_nonzero(lost))
                 if n_lost:
-                    rows = np.flatnonzero(routed)[lost]
                     slots = slots.copy() if slots.base is not None else slots
-                    slots[rows] = -1
+                    slots[rows[lost]] = -1
                     obs.add("faults.packets_lost_total", n_lost)
         return slots, telescopes
 
@@ -260,11 +300,23 @@ def build_deployment(streams: RngStreams,
                      num_tier2: int = 12,
                      num_stubs: int = 60,
                      feed_delay: float = 60.0,
-                     create_route_object_after_weeks: int = 16) -> Deployment:
+                     create_route_object_after_weeks: int = 16,
+                     replay_feed: "Sequence[CollectorEntry] | None" = None,
+                     ) -> Deployment:
     """Assemble the four-telescope deployment of the paper.
 
     The returned deployment has the T1 schedule armed but the simulator not
     yet run; drive it through :class:`repro.experiment.driver`.
+
+    ``replay_feed`` switches the deployment into recorded-timeline mode
+    (shard workers, DESIGN §8): no BGP origination events are armed —
+    neither the stable announcements nor the split schedule runs through
+    the fabric — and the collector replays the given journal instead.
+    Everything corpus-visible is unaffected: the data plane
+    (:meth:`Deployment.route` / :meth:`Deployment.route_batch`) is
+    driven by the static announcement schedule, not by RIB state, and
+    scanners observe routing only through the collector feed, which the
+    replay reproduces publication-for-publication.
     """
     if simulator is None:
         simulator = Simulator()
@@ -329,9 +381,12 @@ def build_deployment(streams: RngStreams,
         controller=controller, productive=productive, rdns_zone=rdns_zone,
         baseline_weeks=baseline_weeks)
 
-    simulator.schedule_at(0.0, deployment._announce_stable,
-                          label="stable:announce")
-    controller.start()
+    if replay_feed is None:
+        simulator.schedule_at(0.0, deployment._announce_stable,
+                              label="stable:announce")
+        controller.start()
+    else:
+        collector.arm_replay(replay_feed)
 
     if create_route_object_after_weeks is not None:
         when = create_route_object_after_weeks * WEEK

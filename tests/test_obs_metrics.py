@@ -166,3 +166,36 @@ class TestPrometheusExport:
         registry = MetricsRegistry()
         registry.counter("a.b-c/d").inc()
         assert "a_b_c_d 1" in registry.to_prometheus()
+
+
+class TestMergeSnapshot:
+    """Folding one registry's snapshot into another (sharded builds)."""
+
+    def test_counters_add_and_gain_extra_labels(self):
+        worker = MetricsRegistry()
+        worker.counter("telescope.packets_total", telescope="T1").inc(10)
+        worker.counter("plain_total").inc(3)
+        coord = MetricsRegistry()
+        coord.counter("telescope.packets_total", telescope="T1").inc(1)
+        coord.merge_snapshot(worker.snapshot(), shard=2)
+        counters = coord.snapshot()["counters"]
+        assert counters[
+            "telescope.packets_total{shard=2,telescope=T1}"] == 10
+        assert counters["plain_total{shard=2}"] == 3
+        # the coordinator's own series is untouched
+        assert counters["telescope.packets_total{telescope=T1}"] == 1
+
+    def test_gauges_keep_max_and_histograms_merge(self):
+        worker = MetricsRegistry()
+        worker.gauge("depth").set(5)
+        worker.histogram("lat", bounds=(1.0, 10.0)).observe(0.5)
+        worker.histogram("lat", bounds=(1.0, 10.0)).observe(50.0)
+        coord = MetricsRegistry()
+        coord.merge_snapshot(worker.snapshot(), shard=0)
+        coord.merge_snapshot(worker.snapshot(), shard=0)  # idempotent labels
+        snapshot = coord.snapshot()
+        assert snapshot["gauges"]["depth{shard=0}"] == 5
+        hist = snapshot["histograms"]["lat{shard=0}"]
+        assert hist["count"] == 4
+        assert hist["buckets"]["1.0"] == 2
+        assert hist["buckets"]["inf"] == 2
