@@ -24,7 +24,18 @@ production throughput:
   byte-identical), reporting the critical path (coordinator recording
   pass CPU + worst worker simulate+flush CPU, each worker alone in a
   fresh process) and speedup (see ``bench_shard_scaling.py`` for the
-  methodology).
+  methodology);
+- ``store_oocore`` — the v1 eager-npz vs v2 chunked-mmap store matrix
+  (cold load, phase-sliced query, full materialization, each in a
+  fresh subprocess), with the acceptance criteria — peak-RSS ratios,
+  sliced-bytes fraction, cold-load speedup — under ``criteria`` (see
+  ``bench_store_oocore.py`` for the methodology).
+
+Each in-process stage also records ``peak_rss_kb`` — the coordinator's
+``ru_maxrss`` sampled right after the stage finishes. ``ru_maxrss`` is
+a monotone high-water mark, so the series reads as "the peak by the end
+of stage X", not per-stage working sets; the attributable per-store
+numbers live in ``store_oocore``, whose children measure in isolation.
 
 The cold-analysis timings run with *no* recorder installed, so they
 measure the disabled-instrumentation path a production analysis sees.
@@ -44,6 +55,7 @@ import argparse
 import datetime
 import json
 import platform
+import resource
 import tempfile
 import time
 from pathlib import Path
@@ -57,6 +69,7 @@ from repro.experiment import ExperimentConfig, Phase, run_experiment
 from repro.experiment.checkpoint import list_checkpoints
 
 from bench_shard_scaling import bench_shard_scaling
+from bench_store_oocore import bench_store_oocore
 
 COLD_LEVELS = (AggregationLevel.ADDR, AggregationLevel.SUBNET)
 TABLES = {
@@ -70,6 +83,11 @@ def time_call(fn):
     started = time.perf_counter()
     result = fn()
     return time.perf_counter() - started, result
+
+
+def _peak_rss_kb() -> int:
+    """The coordinator's running RSS high-water mark in KiB."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
 
 def cold_analysis(corpus, use_columnar: bool,
@@ -113,6 +131,10 @@ def main() -> None:
                         help="skip the shard-scaling sweep (several extra "
                              "full campaigns: unsharded + 1/2/4 shards, "
                              "twice each)")
+    parser.add_argument("--skip-store", action="store_true",
+                        help="skip the out-of-core store matrix (one v1 + "
+                             "one v2 save plus seven measurement "
+                             "subprocesses)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker threads for the table fan-out "
                              "(default 1: serial, per-table timings "
@@ -139,8 +161,10 @@ def main() -> None:
             lambda: run_experiment(
                 ExperimentConfig(seed=args.seed, scale=args.scale,
                                  batch_emit=True)))
+    stage_rss: dict[str, int] = {}
     corpus = result.corpus
     total_packets = corpus.total_packets()
+    stage_rss["corpus_build"] = _peak_rss_kb()
     print(f"  corpus: {total_packets} packets in {build_seconds:.2f}s "
           "(batched emission)")
     for stage, seconds in result.stage_seconds.items():
@@ -155,6 +179,7 @@ def main() -> None:
         print(f"  corpus: {legacy_result.corpus.total_packets()} packets "
               f"in {legacy_build_seconds:.2f}s (per-packet oracle)")
         del legacy_result
+        stage_rss["corpus_build_legacy"] = _peak_rss_kb()
 
     robustness = None
     if not args.skip_robustness:
@@ -180,6 +205,7 @@ def main() -> None:
               f"{setup:.2f}s, in-simulate overhead {overhead:.2%}, "
               f"{kept} checkpoints kept)")
         del ck_result
+        stage_rss["robustness"] = _peak_rss_kb()
 
     shard_scaling = None
     if not args.skip_shards:
@@ -192,8 +218,22 @@ def main() -> None:
                   f"(record {run['record_timeline_cpu']:.2f}s + worst "
                   f"worker {run['worst_shard_cpu']:.2f}s) "
                   f"-> {run['speedup']}x")
+        stage_rss["shard_scaling"] = _peak_rss_kb()
+
+    store_oocore = None
+    if not args.skip_store:
+        print("  out-of-core store (v1 npz vs v2 chunked mmap) ...")
+        store_oocore = bench_store_oocore(corpus)
+        criteria = store_oocore["criteria"]
+        print(f"    cold load: {criteria['cold_load_speedup']}x faster, "
+              f"RSS ratio {criteria['peak_rss_ratio_load']}x")
+        print(f"    phase slice: RSS ratio "
+              f"{criteria['peak_rss_ratio_slice']}x, touches "
+              f"{criteria['sliced_bytes_fraction']:.1%} of store bytes")
+        stage_rss["store_oocore"] = _peak_rss_kb()
 
     columnar_seconds, columnar_sessions = cold_analysis(corpus, True)
+    stage_rss["cold_analysis_columnar"] = _peak_rss_kb()
     print(f"  cold analysis (columnar): first {columnar_seconds['first']:.3f}s"
           f" / best {columnar_seconds['best']:.3f}s "
           f"({columnar_sessions} sessions)")
@@ -208,6 +248,7 @@ def main() -> None:
             raise SystemExit("legacy and columnar paths disagree on "
                              f"session counts: {legacy_sessions} vs "
                              f"{columnar_sessions}")
+        stage_rss["cold_analysis_legacy"] = _peak_rss_kb()
 
     analysis = CorpusAnalysis(corpus)
     if args.jobs > 1:
@@ -220,6 +261,7 @@ def main() -> None:
         jobs=args.jobs)
     table_seconds = {name: seconds
                      for name, (seconds, _) in table_runs.items()}
+    stage_rss["tables"] = _peak_rss_kb()
     for name, seconds in table_seconds.items():
         print(f"  {name}: {seconds:.3f}s")
 
@@ -254,8 +296,11 @@ def main() -> None:
             "tables": {k: round(v, 4) for k, v in table_seconds.items()},
         },
         "sessions": {"cold_total": columnar_sessions},
+        # running ru_maxrss high-water marks, sampled after each stage
+        "peak_rss_kb": stage_rss,
         "robustness": robustness,
         "shard_scaling": shard_scaling,
+        "store_oocore": store_oocore,
         "speedup_cold_analysis": {
             "first": round(legacy_seconds["first"]
                            / columnar_seconds["first"], 2),

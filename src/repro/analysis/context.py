@@ -149,4 +149,13 @@ class CorpusAnalysis:
         return self.sessions("T1", level, Phase.SPLIT)
 
     def initial_packets(self, telescope: str):
+        """Packets of the INITIAL (baseline) phase.
+
+        On an out-of-core v2 corpus this is a pushdown slice: only the
+        chunks whose time footprint overlaps the baseline weeks are
+        opened and materialized as objects — the remaining ~¾ of the
+        capture stays on disk (DESIGN §9). Phase *tables* used by
+        :meth:`sessions` go through ``corpus.phase_table``, which pushes
+        down the same way.
+        """
         return self.corpus.phase_packets(telescope, Phase.INITIAL)

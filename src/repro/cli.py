@@ -6,6 +6,10 @@ Subcommands:
 - ``repro run``      — simulate a campaign and print a summary.
 - ``repro tables``   — simulate (or reuse a seed) and print Tables 2-8.
 - ``repro figures``  — print the figure-data summaries.
+- ``repro save``     — simulate and persist the corpus (v2 chunked
+  store by default; ``--format-version 1`` writes the legacy layout).
+- ``repro load``     — analyze a saved corpus (lazy mmap for v2).
+- ``repro migrate-store`` — rewrite a saved corpus as the v2 layout.
 """
 
 from __future__ import annotations
@@ -112,14 +116,31 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "save":
             cmd.add_argument("--out", required=True,
                              help="output directory for the corpus")
+            cmd.add_argument("--format-version", type=int, default=None,
+                             choices=(1, 2),
+                             help="store format to write (default: 2, "
+                                  "the chunked mmap layout)")
+            cmd.add_argument("--chunk-rows", type=int, default=None,
+                             help="rows per v2 chunk file (default "
+                                  "65536)")
 
     load = sub.add_parser("load",
                           help="load a saved corpus and print Tables 2-8")
     load.add_argument("path", help="corpus directory written by 'save'")
     load.add_argument("--lenient", action="store_true",
-                      help="quarantine corrupt segments (load them empty "
-                           "with a coverage gap) instead of failing")
+                      help="quarantine corrupt segments/chunks (load them "
+                           "empty with a coverage gap) instead of failing")
     _add_obs_flags(load)
+
+    migrate = sub.add_parser(
+        "migrate-store",
+        help="rewrite a saved corpus as the v2 chunked mmap layout")
+    migrate.add_argument("src", help="existing corpus directory (v1 or v2)")
+    migrate.add_argument("dst", help="destination directory for the "
+                                     "migrated v2 corpus")
+    migrate.add_argument("--chunk-rows", type=int, default=None,
+                         help="rows per v2 chunk file (default 65536)")
+    _add_obs_flags(migrate)
     return parser
 
 
@@ -251,10 +272,14 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_save(args: argparse.Namespace) -> int:
-    from repro.experiment.store import save_corpus
+    from repro.experiment.store import (DEFAULT_CHUNK_ROWS, FORMAT_VERSION,
+                                        save_corpus)
     result = _simulate(args)
-    path = save_corpus(result.corpus, args.out)
-    print(f"corpus written to {path}")
+    version = args.format_version or FORMAT_VERSION
+    chunk_rows = args.chunk_rows or DEFAULT_CHUNK_ROWS
+    path = save_corpus(result.corpus, args.out, format_version=version,
+                       chunk_rows=chunk_rows)
+    print(f"corpus written to {path} (format v{version})")
     return 0
 
 
@@ -264,6 +289,15 @@ def cmd_load(args: argparse.Namespace) -> int:
     log.info("loaded %s packets from %s",
              f"{corpus.total_packets():,}", args.path)
     _print_tables(CorpusAnalysis(corpus))
+    return 0
+
+
+def cmd_migrate_store(args: argparse.Namespace) -> int:
+    from repro.experiment.store import DEFAULT_CHUNK_ROWS, migrate_store
+    chunk_rows = args.chunk_rows or DEFAULT_CHUNK_ROWS
+    path = migrate_store(args.src, args.dst, chunk_rows=chunk_rows)
+    print(f"corpus migrated to {path} (format v2, "
+          f"{chunk_rows} rows/chunk)")
     return 0
 
 
@@ -322,6 +356,7 @@ def main(argv: list[str] | None = None) -> int:
         "validate": cmd_validate,
         "save": cmd_save,
         "load": cmd_load,
+        "migrate-store": cmd_migrate_store,
     }
     try:
         return _dispatch_with_obs(handlers[args.command], args)

@@ -413,6 +413,168 @@ class PacketTableBuilder:
             payload_id=self._payload_id[:n], payloads=self.payloads)
 
 
+class TableChunk:
+    """One lazily-loadable row range of a :class:`ChunkedPacketTable`.
+
+    Carries the row count and the ``[t_min, t_max]`` time footprint from
+    the chunk manifest so callers can reason about the chunk — decide
+    whether a query touches it, sum row counts — without loading a byte.
+    ``loader`` produces the chunk's :class:`PacketTable` on first touch
+    (the store's loader verifies the chunk's sha256 there and may
+    quarantine it, returning an empty table); the result is cached so a
+    chunk is opened at most once per process.
+    """
+
+    __slots__ = ("rows", "t_min", "t_max", "nbytes", "_loader", "_table")
+
+    def __init__(self, rows: int, t_min: float, t_max: float, loader,
+                 nbytes: int = 0,
+                 table: PacketTable | None = None) -> None:
+        self.rows = rows
+        self.t_min = t_min
+        self.t_max = t_max
+        self.nbytes = nbytes
+        self._loader = loader
+        self._table = table
+
+    @classmethod
+    def from_table(cls, table: PacketTable) -> "TableChunk":
+        """An already-materialized chunk (used by the shard merge)."""
+        n = len(table)
+        t_min = float(table.time[0]) if n else 0.0
+        t_max = float(table.time[-1]) if n else 0.0
+        return cls(rows=n, t_min=t_min, t_max=t_max, loader=None,
+                   table=table)
+
+    @property
+    def loaded(self) -> bool:
+        return self._table is not None
+
+    def load(self) -> PacketTable:
+        if self._table is None:
+            self._table = self._loader()
+            if len(self._table) != self.rows:
+                # quarantined (or otherwise degraded) chunk: advertise
+                # the real row count from now on
+                self.rows = len(self._table)
+        return self._table
+
+
+class ChunkedPacketTable:
+    """Lazy, time-partitioned packet table over out-of-core chunks.
+
+    The v2 corpus store (DESIGN §9) and the shard-merge path hand
+    analyses one of these instead of a fully materialized
+    :class:`PacketTable`. Chunks partition the row range of a
+    time-sorted table, so:
+
+    - ``len`` and the time footprint come from the manifest — no I/O;
+    - :meth:`slice_time` is *predicate pushdown*: only the chunks whose
+      ``[t_min, t_max]`` footprint intersects the query range are
+      opened, verified, and concatenated — sibling chunks are never
+      touched;
+    - every other ``PacketTable`` attribute delegates to
+      :meth:`materialize`, which concatenates all chunks on first use
+      (full-phase sessionization needs every row anyway).
+
+    Bytes accounting (:attr:`bytes_total` / :meth:`bytes_opened`) feeds
+    the ``store.*`` metrics and the out-of-core benchmark's
+    touched-bytes criterion.
+    """
+
+    def __init__(self, chunks: Sequence[TableChunk]) -> None:
+        self.chunks = list(chunks)
+        self._materialized: PacketTable | None = None
+
+    def __len__(self) -> int:
+        return sum(chunk.rows for chunk in self.chunks)
+
+    # -- time ordering and pushdown slicing --------------------------------
+
+    @property
+    def is_time_sorted(self) -> bool:
+        """True by construction: chunks are written from a time-sorted
+        table and partition its row range in order."""
+        return True
+
+    def time_sorted(self) -> "ChunkedPacketTable":
+        return self
+
+    def materialize(self) -> PacketTable:
+        """The full table, concatenated from all chunks (cached)."""
+        if self._materialized is None:
+            with obs.span("columnar.materialize_chunks",
+                          chunks=len(self.chunks)):
+                self._materialized = concat_tables(
+                    [chunk.load() for chunk in self.chunks])
+            self._materialized._time_sorted = True
+        return self._materialized
+
+    def intersecting_chunks(self, start: float,
+                            end: float) -> list[TableChunk]:
+        """Chunks whose time footprint intersects ``[start, end)``."""
+        return [chunk for chunk in self.chunks
+                if chunk.rows and chunk.t_min < end and chunk.t_max >= start]
+
+    def slice_time(self, start: float, end: float) -> PacketTable:
+        """Rows with ``start <= time < end``, touching only the chunks
+        that can contain them.
+
+        Equivalent to ``materialize().slice_time(start, end)`` — chunks
+        partition a time-sorted table, so slicing each intersecting
+        chunk and concatenating the pieces yields the identical rows in
+        the identical order — but chunks outside the range stay closed.
+        """
+        if self._materialized is not None:
+            return self._materialized.slice_time(start, end)
+        selected = self.intersecting_chunks(start, end)
+        with obs.span("columnar.pushdown_slice", start=start, end=end,
+                      chunks=len(selected), of=len(self.chunks)) as sp:
+            parts = [chunk.load().slice_time(start, end)
+                     for chunk in selected]
+            table = concat_tables(parts)
+            table._time_sorted = True
+            sp.set(rows=len(table))
+            return table
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def bytes_total(self) -> int:
+        """On-disk bytes of all chunks (0 for in-memory chunk sources)."""
+        return sum(chunk.nbytes for chunk in self.chunks)
+
+    def bytes_opened(self) -> int:
+        """On-disk bytes of the chunks that have actually been loaded."""
+        return sum(chunk.nbytes for chunk in self.chunks if chunk.loaded)
+
+    # -- PacketTable delegation --------------------------------------------
+
+    def __getattr__(self, name: str):
+        # any column or method not defined here comes from the fully
+        # materialized table; this is what full-phase analyses hit
+        return getattr(self.materialize(), name)
+
+    def __repr__(self) -> str:
+        opened = sum(1 for chunk in self.chunks if chunk.loaded)
+        return (f"ChunkedPacketTable({len(self)} rows, "
+                f"{opened}/{len(self.chunks)} chunks open)")
+
+
+def iter_row_chunks(table: PacketTable,
+                    chunk_rows: int) -> Iterator[PacketTable]:
+    """Split a table into consecutive row-range views of ``chunk_rows``.
+
+    Views share the parent's buffers (``_row_slice``), so splitting costs
+    no copies; a time-sorted parent yields time-partitioned chunks.
+    """
+    if chunk_rows < 1:
+        raise AnalysisError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    n = len(table)
+    for lo in range(0, n, chunk_rows):
+        yield table._row_slice(lo, min(lo + chunk_rows, n))
+
+
 def concat_tables(tables: Sequence[PacketTable]) -> PacketTable:
     """Concatenate tables row-wise, re-interning payloads into one pool."""
     tables = [t for t in tables if len(t)]

@@ -39,6 +39,27 @@ class Resolver:
                 return target
         return None
 
+    def reverse_batch(self, addrs) -> dict[int, str]:
+        """RDNS for many addresses in one pass over the zone indexes.
+
+        Semantically ``{a: reverse(a) for a in addrs if reverse(a)}`` —
+        first zone with a PTR for the address wins — but resolved
+        through each zone's address-keyed side index instead of building
+        an ``ip6.arpa`` name and scanning the record store per address.
+        """
+        resolved: dict[int, str] = {}
+        for zone in self._zones:
+            index = zone.ptr_targets()
+            if not index:
+                continue
+            for addr in addrs:
+                value = addr_to_int(addr)
+                if value not in resolved:
+                    target = index.get(value)
+                    if target is not None:
+                        resolved[value] = target
+        return resolved
+
     def has_name(self, addr: int | str) -> bool:
         """True if ``addr`` appears in any AAAA record (forward exposure)."""
         value = addr_to_int(addr)

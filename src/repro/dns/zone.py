@@ -52,6 +52,10 @@ class Zone:
     origin: str
     _records: dict[tuple[str, RecordType], list[ResourceRecord]] = field(
         default_factory=dict)
+    #: address → PTR target side index, maintained by :meth:`add_ptr`
+    #: (the only PTR entry point). First target wins, matching
+    #: ``lookup(...)[0]`` on the append-only record bucket.
+    _ptr_by_addr: dict[int, str] = field(default_factory=dict)
 
     def add(self, record: ResourceRecord) -> None:
         key = (record.name.lower(), record.rtype)
@@ -69,7 +73,12 @@ class Zone:
         record = ResourceRecord(name=reverse_name(addr), rtype=RecordType.PTR,
                                 data=target)
         self.add(record)
+        self._ptr_by_addr.setdefault(addr_to_int(addr), target)
         return record
+
+    def ptr_targets(self) -> dict[int, str]:
+        """Address → PTR target map for batched reverse lookups."""
+        return self._ptr_by_addr
 
     def lookup(self, name: str, rtype: RecordType) -> list[ResourceRecord]:
         return list(self._records.get((name.lower(), rtype), ()))

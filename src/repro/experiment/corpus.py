@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.bgp.controller import AnnouncementCycle
-from repro.core.columnar import PacketTable
+from repro.core.columnar import ChunkedPacketTable, PacketTable, TableChunk
 from repro.dns.resolver import Resolver
 from repro.errors import AnalysisError
 from repro.experiment.config import ExperimentConfig
@@ -53,6 +53,47 @@ def merge_shard_tables(
             order = np.lexsort((table.scanner_id, table.time))
             table = table.take(order)
         merged[name] = table
+    return merged
+
+
+def merge_chunked_shards(
+        segments: dict[str, list[ChunkedPacketTable]],
+) -> dict[str, ChunkedPacketTable]:
+    """Window-at-a-time merge of lazily loaded per-shard chunk segments.
+
+    Produces exactly the rows and order of
+    :func:`merge_shard_tables` — and therefore of the unsharded build —
+    without ever holding two full copies of a telescope's table: the
+    timeline is cut at every shard chunk's ``t_min`` and merged one
+    window at a time. Correctness rests on the same argument as the
+    full-table lexsort (DESIGN §8) plus one observation: a stable sort
+    whose *primary* key (time) partitions cleanly across windows equals
+    the concatenation of the per-window stable sorts, as long as each
+    window sees its rows in the same relative order — which pushdown
+    slicing guarantees, since it preserves within-shard order and the
+    shards are concatenated in shard order. Peak memory is one telescope
+    plus one window, not two telescopes.
+    """
+    import numpy as np
+
+    from repro.core.columnar import concat_tables
+    merged: dict[str, ChunkedPacketTable] = {}
+    for name in TELESCOPE_NAMES:
+        shard_tables = segments.get(name, [])
+        cuts = sorted({chunk.t_min for table in shard_tables
+                       for chunk in table.chunks if chunk.rows})
+        chunks: list[TableChunk] = []
+        for index, start in enumerate(cuts):
+            end = cuts[index + 1] if index + 1 < len(cuts) else np.inf
+            parts = [table.slice_time(start, end) for table in shard_tables]
+            window = concat_tables([p for p in parts if len(p)])
+            if not len(window):
+                continue
+            order = np.lexsort((window.scanner_id, window.time))
+            window = window.take(order)
+            window._time_sorted = True
+            chunks.append(TableChunk.from_table(window))
+        merged[name] = ChunkedPacketTable(chunks)
     return merged
 
 
@@ -140,9 +181,21 @@ class PacketCorpus:
             return self.packets(telescope)
         key = (telescope, phase)
         if key not in self._phase_cache:
-            start, end = phase_bounds(self.config, phase)
-            self._phase_cache[key] = [
-                p for p in self.packets(telescope) if start <= p.time < end]
+            backing = self.tables_by_telescope.get(telescope)
+            if isinstance(backing, ChunkedPacketTable) \
+                    and backing._materialized is None \
+                    and telescope not in self.packets_by_telescope:
+                # out-of-core backing: materialize objects only for the
+                # phase's chunks (pushdown) instead of the whole capture.
+                # A chunked table is time-sorted by construction, so the
+                # slice equals the filtered list the eager path builds.
+                self._phase_cache[key] = list(
+                    self.phase_table(telescope, phase).to_packets())
+            else:
+                start, end = phase_bounds(self.config, phase)
+                self._phase_cache[key] = [
+                    p for p in self.packets(telescope)
+                    if start <= p.time < end]
         return self._phase_cache[key]
 
     def phase_table(self, telescope: str, phase: Phase) -> PacketTable:
@@ -220,3 +273,12 @@ class PacketCorpus:
     def rdns(self, src: int) -> str | None:
         """Reverse-DNS lookup for a source address."""
         return self.resolver.reverse(src)
+
+    def rdns_batch(self, sources) -> dict[int, str]:
+        """Reverse-DNS for many source addresses in one resolver pass.
+
+        Returns only the addresses that resolve — exactly the entries
+        ``{src: rdns(src) for src in sources if rdns(src)}`` would
+        produce, without a Python zone scan per address.
+        """
+        return self.resolver.reverse_batch(sources)

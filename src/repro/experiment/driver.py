@@ -29,7 +29,7 @@ from repro.bgp.messages import UpdateKind
 from repro.errors import ExperimentError
 from repro.experiment import checkpoint as ckpt
 from repro.experiment.config import ExperimentConfig
-from repro.experiment.corpus import PacketCorpus, merge_shard_tables
+from repro.experiment.corpus import PacketCorpus, merge_chunked_shards
 from repro.faults import FaultInjector, FaultPlan
 from repro.scanners.base import (Scanner, ScannerContext, SourceModel,
                                  batch_emit_default)
@@ -351,8 +351,13 @@ def _run_sharded(config, registry, faults, num_shards, shard_executor,
 
             with tracer.span("driver.package_corpus",
                              shards=num_shards) as sp:
-                tables = merge_shard_tables(
-                    sharding.load_shard_segments(shard_results))
+                # window-at-a-time merge over the lazily opened spill
+                # manifests: every window is fully materialized before
+                # the spill directory is cleaned up, but the coordinator
+                # never holds the concatenated corpus AND a lexsorted
+                # copy of it at once
+                tables = merge_chunked_shards(
+                    sharding.open_shard_segments(shard_results))
                 corpus = PacketCorpus(
                     config=config,
                     packets_by_telescope=None,

@@ -19,16 +19,19 @@ event loop per shard. Each worker owns:
   reactive scanners and the hitlist see publication-identical feeds;
 - its own **batched-emission pipeline** producing per-shard
   :class:`~repro.core.columnar.PacketTable` segments, spilled as
-  store-layout ``.npz`` files with sha256 integrity and handed back to
-  the coordinator by path.
+  store-layout v2 chunk files (:func:`repro.experiment.store.
+  write_table_chunks` — time-sorted, sha256-while-writing, mmap-able)
+  whose manifests travel back to the coordinator in the result dict.
 
-The coordinator reloads the segments through the store's verified
-:func:`repro.experiment.store._load_segment` and merges them with a
-stable ``(time, scanner_id)`` lexsort
-(:func:`repro.experiment.corpus.merge_shard_tables`), which reproduces
-the unsharded table byte-for-byte for any shard count and any
-partitioning — the differential tests in ``tests/test_sharding.py`` pin
-this with ``corpus_digest`` as the oracle.
+The coordinator opens the spill manifests lazily
+(:func:`open_shard_segments`) and merges them window-at-a-time with a
+stable ``(time, scanner_id)`` lexsort per time window
+(:func:`repro.experiment.corpus.merge_chunked_shards`), which
+reproduces the unsharded table byte-for-byte for any shard count, any
+partitioning, and any chunk size — without ever lexsorting the full
+corpus in RAM — the differential tests in ``tests/test_sharding.py``
+and ``tests/test_store_v2.py`` pin this with ``corpus_digest`` as the
+oracle.
 
 Workers are stateless: every task rebuilds its world from the picklable
 :class:`ShardTask`, so any process pool (fresh, reused, fork or spawn)
@@ -54,11 +57,12 @@ from repro import obs
 from repro.analysis.parallel import fan_out
 from repro.bgp.collector import CollectorEntry
 from repro.bgp.messages import UpdateKind
-from repro.core.columnar import PacketTable
+from repro.core.columnar import ChunkedPacketTable, PacketTable
 from repro.errors import ExperimentError
 from repro.experiment.config import ExperimentConfig
 from repro.experiment.corpus import TELESCOPE_NAMES
-from repro.experiment.store import _load_segment, save_segment
+from repro.experiment.store import (DEFAULT_CHUNK_ROWS, open_table_chunks,
+                                    write_table_chunks)
 from repro.faults import FaultInjector, FaultPlan
 from repro.scanners.base import (ConstPackets, Scanner, ScannerContext,
                                  TemporalKind, UniformPackets)
@@ -245,6 +249,9 @@ class ShardTask:
     #: snapshot; the coordinator turns this off when it has no recorder
     #: itself, sparing the workers the recording overhead.
     record_obs: bool = True
+    #: rows per spill chunk — the coordinator's merge window granularity
+    #: and the unit of lazy loading on its side.
+    chunk_rows: int = DEFAULT_CHUNK_ROWS
 
 
 def run_shard(task: ShardTask) -> dict:
@@ -335,10 +342,12 @@ def run_shard(task: ShardTask) -> dict:
             segments: dict[str, dict] = {}
             for name, telescope in deployment.telescopes.items():
                 table = telescope.capture.table()
-                path = Path(task.spill_dir) / \
-                    f"shard{task.shard:03d}_packets_{name}.npz"
-                sha = save_segment(table, path, compress=False)
-                segments[name] = {"path": str(path), "sha256": sha,
+                chunk_dir = Path(task.spill_dir) / \
+                    f"shard{task.shard:03d}" / name
+                manifest = write_table_chunks(table, chunk_dir,
+                                              task.chunk_rows)
+                segments[name] = {"dir": str(chunk_dir),
+                                  "manifest": manifest,
                                   "rows": len(table)}
             stage("spill")
         snapshot = recorder.metrics.snapshot() \
@@ -410,20 +419,31 @@ def run_shards(config: ExperimentConfig,
     return ordered
 
 
-def load_shard_segments(results: Sequence[dict]) \
-        -> dict[str, list[PacketTable]]:
-    """Verified reload of every worker spill segment, in shard order.
+def open_shard_segments(results: Sequence[dict]) \
+        -> dict[str, list[ChunkedPacketTable]]:
+    """Lazy verified view of every worker spill segment, in shard order.
 
-    Goes through the store's :func:`_load_segment`, so a segment that
-    was truncated or corrupted between spill and merge fails its sha256
-    check and raises :class:`repro.errors.StoreError` instead of
-    silently merging garbage.
+    Returns each segment as a
+    :class:`~repro.core.columnar.ChunkedPacketTable` over the worker's
+    spill manifest: nothing is read here, and each chunk's sha256 is
+    checked on first touch (strict — a chunk truncated or corrupted
+    between spill and merge raises :class:`repro.errors.StoreError`
+    instead of silently merging garbage). The window merge then maps
+    only the chunks of the window it is currently merging.
     """
-    segments: dict[str, list[PacketTable]] = {
+    segments: dict[str, list[ChunkedPacketTable]] = {
         name: [] for name in TELESCOPE_NAMES}
     for res in sorted(results, key=lambda r: r["shard"]):
         for name in TELESCOPE_NAMES:
             info = res["segments"][name]
-            segments[name].append(
-                _load_segment(Path(info["path"]), info["sha256"]))
+            segments[name].append(open_table_chunks(
+                Path(info["dir"]), info["manifest"], telescope=name,
+                strict=True))
     return segments
+
+
+def load_shard_segments(results: Sequence[dict]) \
+        -> dict[str, list[PacketTable]]:
+    """Eagerly materialized :func:`open_shard_segments` (verified)."""
+    return {name: [table.materialize() for table in tables]
+            for name, tables in open_shard_segments(results).items()}

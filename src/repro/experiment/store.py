@@ -1,23 +1,37 @@
-"""Corpus persistence.
+"""Corpus persistence: the out-of-core chunked columnar store.
 
 Saves a :class:`PacketCorpus` to a directory and loads it back, so
 analyses can run on a previously simulated (or externally produced)
-capture without re-running the simulation:
+capture without re-running the simulation.
+
+Format version 2 (the default, DESIGN §9) is chunked and memory-mapped:
 
 - ``meta.json`` — config, announcement schedule, AS registry records,
-  RDNS entries, telescope prefixes, coverage gaps, and a sha256 per
-  segment file;
-- ``packets_<T>.npz`` — columnar packet arrays per telescope (128-bit
-  addresses as two uint64 halves; payloads as one concatenated blob with
-  offsets).
+  RDNS entries, telescope prefixes, coverage gaps, and the chunk
+  manifest (per-telescope chunk list with row counts, ``[t_min, t_max]``
+  time footprints, byte sizes, and one sha256 per chunk);
+- ``<T>/chunk_NNNN.<column>.npy`` — per-telescope, time-partitioned
+  chunk files of raw contiguous column arrays written via
+  :mod:`numpy.lib.format`, so they open with ``mmap_mode="r"`` —
+  zero-copy across the shard pool and analysis worker processes.
 
-Loading verifies each segment against its recorded checksum and wraps
-every on-disk failure (missing file, truncation, bit flips, unreadable
-zip) in :class:`repro.errors.StoreError` carrying the path and the
-failed check. ``load_corpus(..., strict=False)`` quarantines a broken
-segment instead: the telescope comes back empty, its whole run is marked
-as a coverage gap, and a :class:`DegradationWarning` is emitted so
-downstream tables normalize rather than crash.
+Loading a v2 corpus is lazy: ``load_corpus`` reads only ``meta.json``
+and hands each telescope a
+:class:`~repro.core.columnar.ChunkedPacketTable`. A chunk's sha256 is
+verified on first touch, and time-range queries (phase slicing) open
+only the chunks whose footprint intersects the query — *predicate
+pushdown*. Version 1 (one monolithic ``packets_<T>.npz`` per telescope)
+loads eagerly exactly as before; ``migrate_store`` rewrites a v1
+directory as v2.
+
+Every on-disk failure (missing file, truncation, bit flips, unreadable
+data) surfaces as :class:`repro.errors.StoreError` carrying the path and
+the failed check. With ``strict=False`` a bad chunk is quarantined
+instead of raising: it loads empty, its slice of the timeline is
+recorded as a coverage gap, and a :class:`DegradationWarning` is emitted
+— sibling chunks stay readable, so one flipped byte costs one chunk of
+data, not the telescope (PR 5's quarantine semantics at chunk
+granularity).
 """
 
 from __future__ import annotations
@@ -32,7 +46,8 @@ import numpy as np
 from repro import obs
 from repro.analysis.degrade import warn_degraded
 from repro.bgp.controller import AnnouncementCycle
-from repro.core.columnar import PacketTable
+from repro.core.columnar import (ChunkedPacketTable, PacketTable, TableChunk,
+                                 iter_row_chunks)
 from repro.dns.resolver import Resolver
 from repro.dns.zone import Zone
 from repro.errors import StoreError
@@ -41,33 +56,297 @@ from repro.experiment.corpus import PacketCorpus, TELESCOPE_NAMES
 from repro.net.prefix import Prefix
 from repro.scanners.registry import ASRecord, ASRegistry, NetworkType
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Default rows per chunk of the v2 layout. Small enough that a
+#: phase-sliced query at paper scale opens a fraction of the corpus,
+#: large enough that per-chunk overhead (11 files, one sha256) stays
+#: negligible.
+DEFAULT_CHUNK_ROWS = 65536
+
+#: Canonical column order of one chunk — file naming, hashing, and
+#: verification all walk this tuple, so a chunk's sha256 is well-defined.
+CHUNK_COLUMNS = ("time", "src_hi", "src_lo", "dst_hi", "dst_lo", "proto",
+                 "port", "asn", "scanner", "payload_offsets",
+                 "payload_blob")
+
+_HASH_BLOCK = 1 << 20
 
 
-def save_corpus(corpus: PacketCorpus, path: str | Path) -> Path:
-    """Write ``corpus`` to directory ``path`` (created if missing)."""
+def _sha256_file(path: Path, hasher=None) -> str:
+    """Streamed sha256 of a file in fixed-size blocks.
+
+    Never holds more than one block in memory, unlike
+    ``Path.read_bytes()`` which doubles the segment's footprint while
+    hashing.
+    """
+    own = hasher is None
+    if own:
+        hasher = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(_HASH_BLOCK)
+            if not block:
+                break
+            hasher.update(block)
+    return hasher.hexdigest() if own else ""
+
+
+class _HashingWriter:
+    """File wrapper that hashes and counts every byte as it is written,
+    so chunk checksums never require re-reading the file."""
+
+    __slots__ = ("_fh", "hasher", "nbytes")
+
+    def __init__(self, fh, hasher) -> None:
+        self._fh = fh
+        self.hasher = hasher
+        self.nbytes = 0
+
+    def write(self, data) -> int:
+        self.hasher.update(data)
+        self.nbytes += len(data)
+        return self._fh.write(data)
+
+
+def _gauge_inc(name: str, amount: float, **labels) -> None:
+    recorder = obs.current()
+    if recorder is not None:
+        recorder.metrics.gauge(name, **labels).inc(amount)
+
+
+# -- v2 chunk writer -------------------------------------------------------
+
+
+def _chunk_arrays(table: PacketTable) -> dict[str, np.ndarray]:
+    """The canonical column arrays of one chunk, keyed by file name."""
+    payload_offsets, blob = table.payload_blob()
+    return {
+        "time": table.time, "src_hi": table.src_hi, "src_lo": table.src_lo,
+        "dst_hi": table.dst_hi, "dst_lo": table.dst_lo,
+        "proto": table.protocol, "port": table.dst_port,
+        "asn": table.src_asn, "scanner": table.scanner_id,
+        "payload_offsets": payload_offsets, "payload_blob": blob,
+    }
+
+
+def chunk_file(directory: Path, name: str, column: str) -> Path:
+    return directory / f"{name}.{column}.npy"
+
+
+def write_table_chunks(table: PacketTable, directory: str | Path,
+                       chunk_rows: int = DEFAULT_CHUNK_ROWS) -> list[dict]:
+    """Write a table as time-partitioned chunk files; returns the manifest.
+
+    The table is (stably) time-sorted first, so consecutive row ranges
+    are also time partitions and the manifest's ``[t_min, t_max]``
+    footprints support pushdown. Each chunk's sha256 covers its column
+    files in :data:`CHUNK_COLUMNS` order and is computed *while
+    writing* — segments are never read back to hash them.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    table = table.time_sorted()
+    manifest: list[dict] = []
+    for index, chunk in enumerate(iter_row_chunks(table, chunk_rows)):
+        name = f"chunk_{index:04d}"
+        hasher = hashlib.sha256()
+        nbytes = 0
+        for column, array in _chunk_arrays(chunk).items():
+            with open(chunk_file(directory, name, column), "wb") as fh:
+                writer = _HashingWriter(fh, hasher)
+                np.lib.format.write_array(
+                    writer, np.ascontiguousarray(array), version=(1, 0))
+                nbytes += writer.nbytes
+        manifest.append({
+            "name": name,
+            "rows": len(chunk),
+            "t_min": float(chunk.time[0]),
+            "t_max": float(chunk.time[-1]),
+            "bytes": nbytes,
+            "sha256": hasher.hexdigest(),
+        })
+    return manifest
+
+
+# -- v2 chunk reader -------------------------------------------------------
+
+
+class _ChunkReader:
+    """Lazy, verified access to one on-disk chunk.
+
+    ``load()`` streams the chunk's sha256 on first touch (in
+    :data:`CHUNK_COLUMNS` order, matching the writer), then memory-maps
+    the column files. With ``strict=False`` a failed check quarantines
+    the chunk: it loads empty, ``[gap_start, gap_end)`` is merged into
+    the shared ``gaps`` dict, and a :class:`DegradationWarning` is
+    emitted — siblings are unaffected.
+    """
+
+    __slots__ = ("directory", "telescope", "entry", "strict", "gaps",
+                 "gap_window", "verified", "broken")
+
+    def __init__(self, directory: Path, telescope: str, entry: dict,
+                 strict: bool, gaps: dict,
+                 gap_window: tuple[float, float]) -> None:
+        self.directory = directory
+        self.telescope = telescope
+        self.entry = entry
+        self.strict = strict
+        self.gaps = gaps
+        self.gap_window = gap_window
+        self.verified = False
+        self.broken = False
+
+    def _paths(self) -> list[tuple[str, Path]]:
+        return [(column, chunk_file(self.directory, self.entry["name"],
+                                    column))
+                for column in CHUNK_COLUMNS]
+
+    def verify(self) -> None:
+        """Stream the chunk's sha256 and compare with the manifest."""
+        if self.verified or self.broken:
+            return
+        hasher = hashlib.sha256()
+        for _, path in self._paths():
+            if not path.exists():
+                raise StoreError(f"missing corpus chunk file {path}",
+                                 path=path, check="exists")
+            _sha256_file(path, hasher)
+        actual = hasher.hexdigest()
+        expected = self.entry["sha256"]
+        obs.add("store.chunks_verified_total", telescope=self.telescope)
+        if actual != expected:
+            path = self._paths()[0][1]
+            raise StoreError(
+                f"corpus chunk {self.entry['name']} of {self.telescope} "
+                f"failed its sha256 check (stored {expected[:12]}…, "
+                f"found {actual[:12]}…)", path=path, check="sha256")
+        self.verified = True
+
+    def quarantine(self, exc: StoreError) -> PacketTable:
+        self.broken = True
+        obs.add("store.chunks_quarantined_total", telescope=self.telescope)
+        existing = self.gaps.get(self.telescope, ())
+        self.gaps[self.telescope] = tuple(
+            sorted(set(existing) | {self.gap_window}))
+        warn_degraded(
+            f"corpus chunk {self.entry['name']} of {self.telescope} "
+            f"quarantined (failed {exc.check} check): "
+            f"[{self.gap_window[0]:.0f}, {self.gap_window[1]:.0f}) "
+            "becomes a coverage gap", artifact="load_corpus",
+            telescope=self.telescope, reason=exc.check)
+        return PacketTable.empty()
+
+    def load(self) -> PacketTable:
+        if self.broken:
+            return PacketTable.empty()
+        try:
+            self.verify()
+            arrays = {}
+            for column, path in self._paths():
+                try:
+                    arrays[column] = np.load(path, mmap_mode="r")
+                except (OSError, ValueError, KeyError, EOFError) as exc:
+                    raise StoreError(
+                        f"corpus chunk file {path} is unreadable: {exc}",
+                        path=path, check="read") from exc
+        except StoreError as exc:
+            if self.strict:
+                raise
+            return self.quarantine(exc)
+        obs.add("store.chunks_opened_total", telescope=self.telescope)
+        _gauge_inc("store.bytes_mapped", self.entry["bytes"],
+                   telescope=self.telescope)
+        return PacketTable.from_blob_arrays(
+            time=arrays["time"],
+            src_hi=arrays["src_hi"], src_lo=arrays["src_lo"],
+            dst_hi=arrays["dst_hi"], dst_lo=arrays["dst_lo"],
+            protocol=arrays["proto"], dst_port=arrays["port"],
+            src_asn=arrays["asn"], scanner_id=arrays["scanner"],
+            payload_offsets=arrays["payload_offsets"],
+            payload_blob=arrays["payload_blob"])
+
+
+def open_table_chunks(directory: str | Path, manifest: list[dict],
+                      telescope: str = "", strict: bool = True,
+                      gaps: dict | None = None,
+                      duration: float | None = None) -> ChunkedPacketTable:
+    """A lazy :class:`ChunkedPacketTable` over a written chunk manifest.
+
+    ``gaps``/``duration`` wire the lenient quarantine path: each chunk
+    owns the slice of the timeline from its first timestamp to the next
+    chunk's (the first chunk owns from 0, the last up to ``duration``),
+    so quarantining it records exactly that window as a coverage gap and
+    quarantining *every* chunk covers the whole run — matching v1's
+    whole-telescope semantics when a telescope has one chunk.
+    """
+    directory = Path(directory)
+    if gaps is None:
+        gaps = {}
+    chunks = []
+    for index, entry in enumerate(manifest):
+        gap_start = 0.0 if index == 0 else float(entry["t_min"])
+        if index + 1 < len(manifest):
+            gap_end = float(manifest[index + 1]["t_min"])
+        else:
+            gap_end = duration if duration is not None \
+                else float(entry["t_max"])
+        reader = _ChunkReader(directory, telescope, entry, strict, gaps,
+                              (gap_start, gap_end))
+        chunks.append(TableChunk(
+            rows=int(entry["rows"]), t_min=float(entry["t_min"]),
+            t_max=float(entry["t_max"]), loader=reader.load,
+            nbytes=int(entry["bytes"])))
+    return ChunkedPacketTable(chunks)
+
+
+# -- corpus save/load ------------------------------------------------------
+
+
+def save_corpus(corpus: PacketCorpus, path: str | Path,
+                format_version: int = FORMAT_VERSION,
+                chunk_rows: int = DEFAULT_CHUNK_ROWS) -> Path:
+    """Write ``corpus`` to directory ``path`` (created if missing).
+
+    ``format_version=2`` (the default) writes the chunked mmap layout;
+    ``format_version=1`` writes the legacy monolithic-npz layout — kept
+    for differential tests and downgrade interop.
+    """
+    if format_version not in (1, 2):
+        raise StoreError(f"cannot write corpus format {format_version!r}",
+                         path=Path(path), check="format_version")
     directory = Path(path)
     directory.mkdir(parents=True, exist_ok=True)
 
     checksums: dict[str, str] = {}
-    for telescope in TELESCOPE_NAMES:
-        # the columnar table IS the on-disk layout: its arrays are written
-        # directly, with no per-packet Python loop
-        checksums[telescope] = save_segment(
-            corpus.table(telescope),
-            directory / f"packets_{telescope}.npz")
+    store: dict | None = None
+    if format_version == 1:
+        for telescope in TELESCOPE_NAMES:
+            # the columnar table IS the on-disk layout: its arrays are
+            # written directly, with no per-packet Python loop
+            checksums[telescope] = save_segment(
+                corpus.table(telescope),
+                directory / f"packets_{telescope}.npz")
+    else:
+        with obs.span("store.write_chunks", chunk_rows=chunk_rows):
+            store = {"chunk_rows": chunk_rows, "chunks": {}}
+            for telescope in TELESCOPE_NAMES:
+                store["chunks"][telescope] = write_table_chunks(
+                    corpus.table(telescope), directory / telescope,
+                    chunk_rows)
 
     # the resolver only answers point queries, so RDNS entries are
-    # persisted for every observed source address
-    rdns: dict[str, str] = {}
+    # persisted for every observed source address — one batched pass
+    # over the union of all telescopes' sources
+    sources: set[int] = set()
     for telescope in TELESCOPE_NAMES:
-        for src in corpus.table(telescope).unique_source_addresses():
-            name = corpus.rdns(src)
-            if name:
-                rdns[str(src)] = name
+        sources |= corpus.table(telescope).unique_source_addresses()
+    rdns = {str(src): name
+            for src, name in corpus.rdns_batch(sorted(sources)).items()}
 
     meta = {
-        "format_version": FORMAT_VERSION,
+        "format_version": format_version,
         "config": {
             "seed": corpus.config.seed,
             "scale": corpus.config.scale,
@@ -107,25 +386,38 @@ def save_corpus(corpus: PacketCorpus, path: str | Path) -> Path:
             "t4": str(corpus.t4_prefix),
         },
         "attractor_addr": str(corpus.attractor_addr),
-        "checksums": checksums,
         "coverage_gaps": {
             name: [[start, end] for start, end in windows]
             for name, windows in corpus.coverage_gaps.items()},
     }
+    if format_version == 1:
+        meta["checksums"] = checksums
+    else:
+        meta["store"] = store
     (directory / "meta.json").write_text(json.dumps(meta, indent=1))
     return directory
 
 
-def load_corpus(path: str | Path, strict: bool = True) -> PacketCorpus:
+def load_corpus(path: str | Path, strict: bool = True,
+                verify: str = "lazy") -> PacketCorpus:
     """Load a corpus previously written by :func:`save_corpus`.
 
-    Every segment is verified against its recorded sha256 before use.
-    With ``strict=True`` (the default) any missing, truncated, or
+    A v1 corpus loads eagerly, verifying every segment before use. A v2
+    corpus loads *lazily*: only ``meta.json`` is read here, and each
+    chunk's sha256 is checked on first touch (``verify="eager"``
+    pre-verifies every chunk's hash up front without mapping any data).
+
+    With ``strict=True`` (the default) a missing, truncated, or
     corrupted file raises :class:`StoreError` naming the path and the
-    failed check. With ``strict=False`` a bad segment is quarantined:
-    its telescope loads empty, the whole run is recorded as a coverage
-    gap for it, and a :class:`DegradationWarning` is emitted.
+    failed check — at load time for v1/eager, at first touch for lazy
+    v2. With ``strict=False`` the bad unit is quarantined instead: a v1
+    segment loads its telescope empty with a whole-run coverage gap; a
+    v2 chunk loads empty with a gap covering only its slice of the
+    timeline, leaving sibling chunks readable.
     """
+    if verify not in ("lazy", "eager"):
+        raise StoreError(f"unknown verify mode {verify!r}",
+                         path=Path(path), check="verify")
     directory = Path(path)
     meta_path = directory / "meta.json"
     if not meta_path.exists():
@@ -136,9 +428,10 @@ def load_corpus(path: str | Path, strict: bool = True) -> PacketCorpus:
     except (json.JSONDecodeError, OSError) as exc:
         raise StoreError(f"corpus metadata {meta_path} is unreadable: {exc}",
                          path=meta_path, check="json") from exc
-    if meta.get("format_version") != FORMAT_VERSION:
+    version = meta.get("format_version")
+    if version not in (1, 2):
         raise StoreError(
-            f"unsupported corpus format {meta.get('format_version')!r}",
+            f"unsupported corpus format {version!r}",
             path=meta_path, check="format_version")
 
     config = ExperimentConfig(**meta["config"])
@@ -168,16 +461,42 @@ def load_corpus(path: str | Path, strict: bool = True) -> PacketCorpus:
         rdns_zone.add_ptr(int(src_text), name)
     resolver = Resolver([rdns_zone])
 
-    checksums = meta.get("checksums", {})
     coverage_gaps = {
         name: tuple((float(start), float(end)) for start, end in windows)
         for name, windows in meta.get("coverage_gaps", {}).items()}
 
-    tables_by_telescope: dict[str, PacketTable] = {}
+    if version == 1:
+        tables = _load_tables_v1(directory, meta, config, strict,
+                                 coverage_gaps)
+    else:
+        tables = _load_tables_v2(directory, meta, config, strict,
+                                 coverage_gaps, verify)
+
+    return PacketCorpus(
+        config=config,
+        packets_by_telescope={},
+        tables_by_telescope=tables,
+        schedule=schedule,
+        registry=registry,
+        resolver=resolver,
+        t1_prefix=Prefix.parse(meta["prefixes"]["t1"]),
+        t2_prefix=Prefix.parse(meta["prefixes"]["t2"]),
+        t3_prefix=Prefix.parse(meta["prefixes"]["t3"]),
+        t4_prefix=Prefix.parse(meta["prefixes"]["t4"]),
+        attractor_addr=int(meta["attractor_addr"]),
+        coverage_gaps=coverage_gaps)
+
+
+def _load_tables_v1(directory: Path, meta: dict, config: ExperimentConfig,
+                    strict: bool,
+                    coverage_gaps: dict) -> dict[str, PacketTable]:
+    """Eager verified load of the legacy monolithic-npz layout."""
+    checksums = meta.get("checksums", {})
+    tables: dict[str, PacketTable] = {}
     for telescope in TELESCOPE_NAMES:
         segment = directory / f"packets_{telescope}.npz"
         try:
-            tables_by_telescope[telescope] = _load_segment(
+            tables[telescope] = _load_segment(
                 segment, checksums.get(telescope))
         except StoreError as exc:
             if strict:
@@ -190,33 +509,75 @@ def load_corpus(path: str | Path, strict: bool = True) -> PacketCorpus:
                 f"(failed {exc.check} check): {telescope} loads empty",
                 artifact="load_corpus", telescope=telescope,
                 reason=exc.check)
-            tables_by_telescope[telescope] = PacketTable.empty()
+            tables[telescope] = PacketTable.empty()
             coverage_gaps[telescope] = ((0.0, config.duration),)
+    return tables
 
-    return PacketCorpus(
-        config=config,
-        packets_by_telescope={},
-        tables_by_telescope=tables_by_telescope,
-        schedule=schedule,
-        registry=registry,
-        resolver=resolver,
-        t1_prefix=Prefix.parse(meta["prefixes"]["t1"]),
-        t2_prefix=Prefix.parse(meta["prefixes"]["t2"]),
-        t3_prefix=Prefix.parse(meta["prefixes"]["t3"]),
-        t4_prefix=Prefix.parse(meta["prefixes"]["t4"]),
-        attractor_addr=int(meta["attractor_addr"]),
-        coverage_gaps=coverage_gaps)
+
+def _load_tables_v2(directory: Path, meta: dict, config: ExperimentConfig,
+                    strict: bool, coverage_gaps: dict,
+                    verify: str) -> dict[str, ChunkedPacketTable]:
+    """Lazy chunk-manifest load of the v2 layout.
+
+    ``coverage_gaps`` is the *live* dict handed to the corpus: a chunk
+    quarantined on a later touch merges its gap window in place, so
+    gap-aware analyses see it as soon as the quarantine happens.
+    """
+    store = meta.get("store")
+    if not isinstance(store, dict) or "chunks" not in store:
+        raise StoreError("v2 corpus metadata is missing its chunk "
+                         "manifest", path=directory / "meta.json",
+                         check="manifest")
+    tables: dict[str, ChunkedPacketTable] = {}
+    for telescope in TELESCOPE_NAMES:
+        manifest = store["chunks"].get(telescope, [])
+        table = open_table_chunks(
+            directory / telescope, manifest, telescope=telescope,
+            strict=strict, gaps=coverage_gaps, duration=config.duration)
+        if verify == "eager":
+            for chunk, entry in zip(table.chunks, manifest):
+                try:
+                    reader_load = chunk._loader
+                    reader = reader_load.__self__
+                    reader.verify()
+                except StoreError as exc:
+                    if strict:
+                        raise
+                    reader.quarantine(exc)
+                    chunk.rows = 0
+        tables[telescope] = table
+    return tables
+
+
+def migrate_store(src: str | Path, dst: str | Path,
+                  chunk_rows: int = DEFAULT_CHUNK_ROWS) -> Path:
+    """Rewrite a saved corpus (v1 or v2) as a v2 chunked store at ``dst``.
+
+    Loads strictly — a corrupted source fails the migration rather than
+    silently shrinking the output — and returns the destination path.
+    """
+    src_dir, dst_dir = Path(src), Path(dst)
+    if src_dir.resolve() == dst_dir.resolve():
+        raise StoreError("migration source and destination are the same "
+                         f"directory {src_dir}", path=dst_dir,
+                         check="destination")
+    corpus = load_corpus(src_dir, strict=True)
+    return save_corpus(corpus, dst_dir, format_version=2,
+                       chunk_rows=chunk_rows)
+
+
+# -- v1 segment helpers (legacy layout + interop) --------------------------
 
 
 def save_segment(table: PacketTable, path: Path,
                  compress: bool = True) -> str:
     """Write one ``packets_*.npz`` segment; returns its sha256 digest.
 
-    The key layout is the store's canonical one, so anything written here
-    loads back through :func:`_load_segment` with full checksum
-    verification. ``compress=False`` trades disk for speed — the sharded
-    builder uses it for worker spill segments that live only for the
-    handoff to the coordinator.
+    The key layout is the store's canonical v1 one, so anything written
+    here loads back through :func:`_load_segment` with full checksum
+    verification. ``compress=False`` trades disk for speed. The digest
+    is streamed in fixed-size blocks — the segment is never held in
+    memory a second time just to hash it.
     """
     payload_offsets, blob = table.payload_blob()
     saver = np.savez_compressed if compress else np.savez
@@ -226,7 +587,7 @@ def save_segment(table: PacketTable, path: Path,
           proto=table.protocol, port=table.dst_port,
           asn=table.src_asn, scanner=table.scanner_id,
           payload_offsets=payload_offsets, payload_blob=blob)
-    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+    return _sha256_file(Path(path))
 
 
 def _load_segment(path: Path, expected_sha: str | None) -> PacketTable:
@@ -241,7 +602,7 @@ def _load_segment(path: Path, expected_sha: str | None) -> PacketTable:
         raise StoreError(f"missing corpus segment {path}",
                          path=path, check="exists")
     if expected_sha is not None:
-        actual = hashlib.sha256(path.read_bytes()).hexdigest()
+        actual = _sha256_file(path)
         if actual != expected_sha:
             raise StoreError(
                 f"corpus segment {path} failed its sha256 check "
@@ -270,11 +631,12 @@ def _load_segment(path: Path, expected_sha: str | None) -> PacketTable:
 def corpus_digest(corpus: PacketCorpus) -> str:
     """Content hash of the packet columns of all four telescopes.
 
-    Hashes the time-sorted column arrays directly rather than the npz
-    files — ``savez_compressed`` embeds zip member timestamps, so two
-    byte-identical *corpora* do not produce byte-identical *files*. Two
-    corpora with the same packets always share a digest, which is what
-    the resume- and fault-differential tests compare.
+    Hashes the time-sorted column arrays directly rather than the
+    on-disk files — compressed containers embed timestamps, and the v2
+    chunk layout depends on ``chunk_rows`` — so two corpora with the
+    same packets always share a digest regardless of how (or whether)
+    they were stored. Contiguous columns are hashed through their buffer
+    directly; only a genuinely non-contiguous column pays a copy.
     """
     digest = hashlib.sha256()
     for telescope in TELESCOPE_NAMES:
@@ -285,6 +647,9 @@ def corpus_digest(corpus: PacketCorpus) -> str:
                        table.dst_hi, table.dst_lo, table.protocol,
                        table.dst_port, table.src_asn, table.scanner_id,
                        payload_offsets):
-            digest.update(np.ascontiguousarray(column).tobytes())
-        digest.update(blob)
+            column = np.asarray(column)
+            if not column.flags.c_contiguous:
+                column = np.ascontiguousarray(column)
+            digest.update(column)
+        digest.update(np.asarray(blob))
     return digest.hexdigest()

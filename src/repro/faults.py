@@ -268,20 +268,23 @@ class FaultInjector:
     # -- store corruption ---------------------------------------------------
 
     def corrupt_store(self, directory: str | Path) -> list[Path]:
-        """Corrupt the planned segments of a saved corpus (bit flips).
+        """Corrupt the planned telescopes of a saved corpus (bit flips).
 
-        Flips one byte in the middle third of each named segment file,
-        at a seed-determined offset — enough to fail the content
+        On a v1 store, flips one byte in the middle third of the
+        telescope's ``packets_<T>.npz`` — enough to fail the content
         checksum without touching the zip directory, which is how silent
-        on-disk corruption usually presents. Returns the corrupted paths.
+        on-disk corruption usually presents. On a v2 chunked store, the
+        same flip is applied to every ``.time.npy`` chunk file of the
+        telescope, so a lenient load quarantines all of its chunks (the
+        whole-telescope outcome the v1 fault produced, now exercised at
+        chunk granularity). Offsets are seed-determined. Returns the
+        corrupted paths.
         """
         directory = Path(directory)
         rng = np.random.default_rng(self.seed ^ 0xFA17)
         corrupted: list[Path] = []
-        for name in self.plan.corrupt_segments:
-            path = directory / f"packets_{name}.npz"
-            if not path.exists():
-                raise FaultError(f"no segment to corrupt at {path}")
+
+        def flip(path: Path) -> None:
             blob = bytearray(path.read_bytes())
             if not blob:
                 raise FaultError(f"segment {path} is empty")
@@ -292,4 +295,17 @@ class FaultInjector:
             path.write_bytes(bytes(blob))
             obs.add("faults.segments_corrupted_total")
             corrupted.append(path)
+
+        for name in self.plan.corrupt_segments:
+            npz = directory / f"packets_{name}.npz"
+            chunk_files = sorted((directory / name).glob("chunk_*.time.npy"))
+            if npz.exists():
+                flip(npz)
+            elif chunk_files:
+                for path in chunk_files:
+                    flip(path)
+            else:
+                raise FaultError(f"no segment to corrupt at {npz} "
+                                 f"(and no v2 chunks under "
+                                 f"{directory / name})")
         return corrupted

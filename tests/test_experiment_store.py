@@ -82,18 +82,33 @@ class TestErrors:
         save_corpus(tiny_corpus, path)
         meta = path / "meta.json"
         meta.write_text(meta.read_text().replace(
-            '"format_version": 1', '"format_version": 99'))
+            '"format_version": 2', '"format_version": 99'))
         with pytest.raises(StoreError):
             load_corpus(path)
 
+    def test_bad_write_format_version(self, tmp_path, tiny_corpus):
+        with pytest.raises(StoreError):
+            save_corpus(tiny_corpus, tmp_path / "run", format_version=3)
+
+    def test_bad_verify_mode(self, tmp_path, tiny_corpus):
+        path = tmp_path / "run"
+        save_corpus(tiny_corpus, path)
+        with pytest.raises(StoreError):
+            load_corpus(path, verify="sometimes")
+
 
 class TestStoreIntegrity:
-    """Truncated and bit-flipped segments surface as StoreError."""
+    """Truncated and bit-flipped v1 segments surface as StoreError.
+
+    These pin the legacy monolithic-npz layout's eager whole-segment
+    semantics; the v2 chunk-granularity equivalents live in
+    ``tests/test_store_v2.py``.
+    """
 
     @pytest.fixture()
     def saved(self, tmp_path, tiny_corpus):
         path = tmp_path / "run"
-        save_corpus(tiny_corpus, path)
+        save_corpus(tiny_corpus, path, format_version=1)
         return path
 
     def test_truncated_segment(self, saved):

@@ -211,6 +211,9 @@ class TestFaultedRun:
 
 class TestCorruptStore:
     def test_corrupt_then_quarantine(self, tmp_path, tiny_result):
+        """v2 store: the fault corrupts every chunk of the telescope, so
+        a lenient load quarantines them all — reproducing the v1
+        whole-telescope outcome at chunk granularity."""
         from repro.experiment.store import load_corpus, save_corpus
         from repro.errors import StoreError
         path = tmp_path / "corpus"
@@ -218,19 +221,40 @@ class TestCorruptStore:
         injector = FaultInjector(FaultPlan(corrupt_segments=("T2",)),
                                  seed=3)
         corrupted = injector.corrupt_store(path)
-        assert [p.name for p in corrupted] == ["packets_T2.npz"]
+        assert corrupted
+        assert all(p.parent.name == "T2" and p.name.startswith("chunk_")
+                   for p in corrupted)
+        # eager verification surfaces the corruption at load time ...
         with pytest.raises(StoreError) as exc_info:
-            load_corpus(path)
+            load_corpus(path, verify="eager")
         assert exc_info.value.check == "sha256"
+        # ... a lazy strict load raises on first touch instead
+        lazy = load_corpus(path)
+        with pytest.raises(StoreError):
+            lazy.table("T2").materialize()
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             corpus = load_corpus(path, strict=False)
+            corpus.table("T2").materialize()
         assert any(issubclass(w.category, DegradationWarning)
                    for w in caught)
         assert len(corpus.table("T2")) == 0
         assert corpus.covered_fraction("T2") == 0.0
         assert len(corpus.table("T1")) \
             == len(tiny_result.corpus.table("T1"))
+
+    def test_corrupt_v1_store(self, tmp_path, tiny_result):
+        from repro.experiment.store import load_corpus, save_corpus
+        from repro.errors import StoreError
+        path = tmp_path / "corpus-v1"
+        save_corpus(tiny_result.corpus, path, format_version=1)
+        injector = FaultInjector(FaultPlan(corrupt_segments=("T2",)),
+                                 seed=3)
+        corrupted = injector.corrupt_store(path)
+        assert [p.name for p in corrupted] == ["packets_T2.npz"]
+        with pytest.raises(StoreError) as exc_info:
+            load_corpus(path)
+        assert exc_info.value.check == "sha256"
 
     def test_corrupt_missing_segment_rejected(self, tmp_path):
         injector = FaultInjector(FaultPlan(corrupt_segments=("T1",)))
