@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Latency of the live obs HTTP server under many concurrent clients.
+
+A pipeline being scraped must answer ``/metrics`` and ``/status``
+without stalling either the scraper or the run. This bench populates a
+realistic telemetry surface — a few hundred labeled series, a
+heartbeat-shaped event stream folded into a :class:`StatusBoard` — then
+hammers both endpoints from ``clients`` threads at once and reports
+per-request latency percentiles and aggregate throughput.
+
+The interesting numbers are the p99s: the server is a
+``ThreadingHTTPServer`` whose handlers read shared structures under
+their own locks, so tail latency is where lock contention with a hot
+pipeline would show up first.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_obs_server.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.obs import events as obsevents
+
+#: Series counts approximating a sharded campaign's registry.
+COUNTER_SERIES = 200
+GAUGE_SERIES = 60
+HISTOGRAM_SERIES = 12
+EVENT_RECORDS = 500
+
+
+def _populate(recorder: "obs.FlightRecorder") -> None:
+    """Fill the registry with a campaign-sized metric surface."""
+    for index in range(COUNTER_SERIES):
+        recorder.metrics.counter(
+            "bench.packets_total", telescope=f"T{index % 4 + 1}",
+            shard=str(index % 8), kind=f"k{index % 6}").inc(index * 17)
+    for index in range(GAUGE_SERIES):
+        recorder.metrics.gauge("bench.queue_depth",
+                               shard=str(index)).set(index * 3.5)
+    for index in range(HISTOGRAM_SERIES):
+        hist = recorder.metrics.histogram("bench.session_bytes",
+                                          telescope=f"T{index % 4 + 1}")
+        for value in (1, 10, 100, 1000, 10000):
+            hist.observe(value * (index + 1))
+
+
+def _populate_events(log: "obsevents.EventLog",
+                     board: "obs.StatusBoard") -> None:
+    log.add_listener(board.on_event)
+    log.emit("run.start", seed=42, scale=1.0, shards=4)
+    log.emit("stage.start", stage="simulate")
+    for index in range(EVENT_RECORDS):
+        log.emit("heartbeat", shard=index % 4, sim_days=index / 10.0,
+                 progress=index / EVENT_RECORDS, events=index * 1000,
+                 events_per_sec=25000.0, queue_depth=100 - index % 100,
+                 eta_s=60.0)
+
+
+def _hammer(port: int, path: str, count: int,
+            latencies: list, lock: threading.Lock) -> None:
+    mine = []
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10.0)
+    try:
+        for _ in range(count):
+            started = time.perf_counter()
+            conn.request("GET", path)
+            response = conn.getresponse()
+            body = response.read()
+            elapsed = time.perf_counter() - started
+            if response.status != 200 or not body:
+                raise SystemExit(f"bench got HTTP {response.status} "
+                                 f"for {path}")
+            mine.append(elapsed)
+    finally:
+        conn.close()
+    with lock:
+        latencies.extend(mine)
+
+
+def _percentile(values: list, fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def bench_obs_server(clients: int = 8,
+                     requests_per_client: int = 50) -> dict:
+    """Concurrent scrape latency of /metrics and /status."""
+    recorder = obs.FlightRecorder()
+    _populate(recorder)
+    board = obs.StatusBoard(run_id="bench")
+    report: dict = {"clients": clients,
+                    "requests_per_client": requests_per_client}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-obs-") as tmp:
+        log = obsevents.EventLog(Path(tmp) / "events.jsonl",
+                                 run_id="bench")
+        _populate_events(log, board)
+        server = obs.ObsServer(port=0, recorder=recorder, board=board,
+                               event_log=log)
+        with server:
+            for path, key in (("/metrics", "metrics"),
+                              ("/status", "status")):
+                latencies: list = []
+                lock = threading.Lock()
+                threads = [
+                    threading.Thread(
+                        target=_hammer,
+                        args=(server.port, path, requests_per_client,
+                              latencies, lock))
+                    for _ in range(clients)]
+                started = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                wall = time.perf_counter() - started
+                report[key] = {
+                    "requests": len(latencies),
+                    "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+                    "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+                    "max_ms": round(max(latencies) * 1e3, 3),
+                    "throughput_rps": round(len(latencies) / wall, 1),
+                }
+        log.close()
+    return report
+
+
+if __name__ == "__main__":
+    print(json.dumps(bench_obs_server(), indent=1))

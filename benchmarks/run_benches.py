@@ -29,7 +29,15 @@ production throughput:
   (cold load, phase-sliced query, full materialization, each in a
   fresh subprocess), with the acceptance criteria — peak-RSS ratios,
   sliced-bytes fraction, cold-load speedup — under ``criteria`` (see
-  ``bench_store_oocore.py`` for the methodology).
+  ``bench_store_oocore.py`` for the methodology);
+- ``obs_server`` — /metrics and /status scrape latency of the live obs
+  HTTP server under many concurrent clients (see
+  ``bench_obs_server.py``).
+
+``--compare OLD.json NEW.json`` diffs two reports instead of running
+anything: every shared numeric timing under ``seconds`` is compared and
+the exit status is non-zero when any regressed more than ``--threshold``
+(default 10%) — the CI contract for perf trajectories.
 
 Each in-process stage also records ``peak_rss_kb`` — the coordinator's
 ``ru_maxrss`` sampled right after the stage finishes. ``ru_maxrss`` is
@@ -68,8 +76,15 @@ from repro.core.aggregation import AggregationLevel
 from repro.experiment import ExperimentConfig, Phase, run_experiment
 from repro.experiment.checkpoint import list_checkpoints
 
+from bench_obs_server import bench_obs_server
 from bench_shard_scaling import bench_shard_scaling
 from bench_store_oocore import bench_store_oocore
+
+#: ``--compare`` flags a timing as regressed only past this fractional
+#: slowdown AND this absolute delta (sub-50ms noise is scheduler, not
+#: code) — mirroring ``repro runs compare``.
+COMPARE_THRESHOLD = 0.10
+COMPARE_MIN_SECONDS = 0.05
 
 COLD_LEVELS = (AggregationLevel.ADDR, AggregationLevel.SUBNET)
 TABLES = {
@@ -88,6 +103,63 @@ def time_call(fn):
 def _peak_rss_kb() -> int:
     """The coordinator's running RSS high-water mark in KiB."""
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _flatten_seconds(tree, prefix: str = "") -> dict[str, float]:
+    """Flatten a report's nested ``seconds`` dict to dotted-key floats."""
+    flat: dict[str, float] = {}
+    for key, value in (tree or {}).items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(_flatten_seconds(value, path))
+        elif isinstance(value, (int, float)) and value is not None:
+            flat[path] = float(value)
+    return flat
+
+
+def compare_reports(old_path: Path, new_path: Path,
+                    threshold: float = COMPARE_THRESHOLD) -> int:
+    """Diff two BENCH_*.json reports; exit status for CI.
+
+    Compares every numeric timing both reports share under ``seconds``,
+    flags slowdowns beyond ``threshold`` (and :data:`COMPARE_MIN_SECONDS`
+    absolute), and returns 1 when any timing regressed, else 0.
+    """
+    old = json.loads(Path(old_path).read_text())
+    new = json.loads(Path(new_path).read_text())
+    old_cfg, new_cfg = old.get("config", {}), new.get("config", {})
+    print(f"compare {Path(old_path).name} (old) -> "
+          f"{Path(new_path).name} (new), threshold {threshold:.0%}")
+    if old_cfg != new_cfg:
+        print(f"  note: configs differ ({old_cfg} vs {new_cfg}) — deltas "
+              "reflect workload changes, not just code")
+    old_flat = _flatten_seconds(old.get("seconds", {}))
+    new_flat = _flatten_seconds(new.get("seconds", {}))
+    regressions: list[str] = []
+    print(f"  {'timing':<40} {'old_s':>9} {'new_s':>9} {'ratio':>7}")
+    for key in sorted(set(old_flat) | set(new_flat)):
+        a, b = old_flat.get(key), new_flat.get(key)
+        if a is None or b is None:
+            print(f"  {key:<40} "
+                  f"{a if a is not None else '-':>9} "
+                  f"{b if b is not None else '-':>9}       -  only one "
+                  "report")
+            continue
+        ratio = b / a if a > 0 else float("inf")
+        flag = ""
+        if b > a * (1.0 + threshold) and b - a > COMPARE_MIN_SECONDS:
+            flag = "REGRESSION"
+            regressions.append(key)
+        elif a > b * (1.0 + threshold) and a - b > COMPARE_MIN_SECONDS:
+            flag = "improved"
+        print(f"  {key:<40} {a:9.3f} {b:9.3f} {ratio:7.2f}"
+              + (f"  {flag}" if flag else ""))
+    if regressions:
+        print(f"  RESULT: {len(regressions)} timing regression(s): "
+              + ", ".join(regressions))
+        return 1
+    print(f"  RESULT: no timing regressions beyond {threshold:.0%}")
+    return 0
 
 
 def cold_analysis(corpus, use_columnar: bool,
@@ -135,6 +207,18 @@ def main() -> None:
                         help="skip the out-of-core store matrix (one v1 + "
                              "one v2 save plus seven measurement "
                              "subprocesses)")
+    parser.add_argument("--skip-obs-server", action="store_true",
+                        help="skip the obs HTTP server scrape-latency "
+                             "bench")
+    parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                        type=Path, default=None,
+                        help="diff two BENCH_*.json reports instead of "
+                             "running; exits non-zero on any timing "
+                             "regression beyond --threshold")
+    parser.add_argument("--threshold", type=float,
+                        default=COMPARE_THRESHOLD,
+                        help="fractional regression threshold for "
+                             "--compare (default 0.10)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker threads for the table fan-out "
                              "(default 1: serial, per-table timings "
@@ -151,6 +235,10 @@ def main() -> None:
                         help="output path (default benchmarks/BENCH_<date>"
                              ".json)")
     args = parser.parse_args()
+
+    if args.compare is not None:
+        raise SystemExit(compare_reports(args.compare[0], args.compare[1],
+                                         threshold=args.threshold))
 
     print(f"simulating campaign (seed={args.seed} scale={args.scale}) ...")
     # record the build so the report gets stage-resolved timings; the
@@ -232,6 +320,17 @@ def main() -> None:
               f"{criteria['sliced_bytes_fraction']:.1%} of store bytes")
         stage_rss["store_oocore"] = _peak_rss_kb()
 
+    obs_server = None
+    if not args.skip_obs_server:
+        print("  obs server scrape latency (8 concurrent clients) ...")
+        obs_server = bench_obs_server()
+        for endpoint in ("metrics", "status"):
+            timing = obs_server[endpoint]
+            print(f"    /{endpoint}: p50 {timing['p50_ms']}ms / "
+                  f"p99 {timing['p99_ms']}ms "
+                  f"({timing['throughput_rps']} req/s)")
+        stage_rss["obs_server"] = _peak_rss_kb()
+
     columnar_seconds, columnar_sessions = cold_analysis(corpus, True)
     stage_rss["cold_analysis_columnar"] = _peak_rss_kb()
     print(f"  cold analysis (columnar): first {columnar_seconds['first']:.3f}s"
@@ -301,6 +400,7 @@ def main() -> None:
         "robustness": robustness,
         "shard_scaling": shard_scaling,
         "store_oocore": store_oocore,
+        "obs_server": obs_server,
         "speedup_cold_analysis": {
             "first": round(legacy_seconds["first"]
                            / columnar_seconds["first"], 2),

@@ -39,6 +39,9 @@ def warn_degraded(message: str, *, artifact: str = "", telescope: str = "",
     """Emit a :class:`DegradationWarning` and count it."""
     obs.add("analysis.degradation_warnings_total",
             artifact=artifact or "unknown", reason=reason or "unknown")
+    obs.event("degraded", artifact=artifact or "unknown",
+              telescope=telescope or None, reason=reason or "unknown",
+              message=message)
     warnings.warn(
         DegradationWarning(message, artifact=artifact, telescope=telescope,
                            reason=reason),

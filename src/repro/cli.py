@@ -10,12 +10,22 @@ Subcommands:
   store by default; ``--format-version 1`` writes the legacy layout).
 - ``repro load``     — analyze a saved corpus (lazy mmap for v2).
 - ``repro migrate-store`` — rewrite a saved corpus as the v2 layout.
+- ``repro runs``     — browse the run ledger (``list``, ``show``, and
+  ``compare``, which exits non-zero on a stage-time regression).
+
+Every pipeline subcommand accepts ``--serve-obs PORT`` (live /metrics,
+/status, /events and /trace over HTTP while it runs), ``--events PATH``
+(structured JSONL run-event log) and — for the simulating commands —
+``--ledger DIR`` (durable run manifests for ``repro runs``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import tempfile
+from pathlib import Path
 
 from repro import obs
 from repro.analysis.context import CorpusAnalysis
@@ -51,6 +61,14 @@ def _add_obs_flags(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("-v", "--verbose", action="store_true",
                      help="log a sim-time heartbeat (events/sec, queue "
                           "depth, ETA) while simulating")
+    cmd.add_argument("--serve-obs", metavar="PORT", type=int, default=None,
+                     help="serve live /metrics (Prometheus), /status, "
+                          "/events and /trace on this port while the "
+                          "command runs (0 = ephemeral)")
+    cmd.add_argument("--events", metavar="PATH", default=None,
+                     help="append the structured run-event log (JSONL: "
+                          "stage transitions, heartbeats, checkpoints, "
+                          "faults, quarantines) to this file")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,6 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "('auto' = one per CPU); byte-identical "
                               "to the unsharded build, incompatible "
                               "with --checkpoint-dir")
+        cmd.add_argument("--ledger", metavar="DIR", default=None,
+                         help="record the run in this ledger directory "
+                              "(run.json manifest + event log; browse "
+                              "with 'repro runs')")
         _add_obs_flags(cmd)
         if name in ("tables", "figures"):
             cmd.add_argument("--jobs", type=int, default=1,
@@ -141,6 +163,18 @@ def build_parser() -> argparse.ArgumentParser:
     migrate.add_argument("--chunk-rows", type=int, default=None,
                          help="rows per v2 chunk file (default 65536)")
     _add_obs_flags(migrate)
+
+    runs = sub.add_parser("runs", help="browse the run ledger")
+    runs.add_argument("action", choices=("list", "show", "compare"),
+                      help="list all runs, show one manifest, or diff "
+                           "two runs' stage timings and metrics")
+    runs.add_argument("run_ids", nargs="*",
+                      help="run id (show) or OLD NEW (compare)")
+    runs.add_argument("--ledger", metavar="DIR", required=True,
+                      help="ledger directory written by --ledger runs")
+    runs.add_argument("--threshold", type=float, default=0.10,
+                      help="stage-time regression threshold for compare "
+                           "(fractional, default 0.10)")
     return parser
 
 
@@ -159,11 +193,14 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 def _simulate(args: argparse.Namespace):
     from repro.experiment.driver import resume_experiment
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    run_id = getattr(args, "run_id", None)
+    ledger_dir = getattr(args, "ledger", None)
     if getattr(args, "resume", False):
         if not checkpoint_dir:
             raise ExperimentError("--resume requires --checkpoint-dir")
         log.info("resuming from checkpoints in %s ...", checkpoint_dir)
-        result = resume_experiment(checkpoint_dir)
+        result = resume_experiment(checkpoint_dir, run_id=run_id,
+                                   ledger_dir=ledger_dir)
     else:
         config = ExperimentConfig(seed=args.seed, scale=args.scale)
         faults = None
@@ -184,7 +221,7 @@ def _simulate(args: argparse.Namespace):
             config, faults=faults, checkpoint_dir=checkpoint_dir,
             checkpoint_interval=getattr(args, "checkpoint_every", None),
             checkpoint_budget=budget if budget > 0 else None,
-            shards=shards)
+            shards=shards, run_id=run_id, ledger_dir=ledger_dir)
     log.info("done in %.1fs: %s packets",
              result.wall_seconds, f"{result.corpus.total_packets():,}")
     return result
@@ -318,23 +355,103 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def _dispatch_with_obs(handler, args: argparse.Namespace) -> int:
-    """Run a handler under a flight recorder when any obs flag asks for one.
+def cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs import ledger as obsledger
+    try:
+        if args.action == "list":
+            print(obsledger.render_runs_table(
+                obsledger.list_runs(args.ledger)))
+            return 0
+        if args.action == "show":
+            if len(args.run_ids) != 1:
+                raise ExperimentError(
+                    "'runs show' takes exactly one run id")
+            print(json.dumps(
+                obsledger.load_manifest(args.ledger, args.run_ids[0]),
+                indent=2, default=str))
+            return 0
+        if len(args.run_ids) != 2:
+            raise ExperimentError(
+                "'runs compare' takes exactly two run ids (OLD NEW)")
+        comparison = obsledger.compare_runs(
+            args.ledger, args.run_ids[0], args.run_ids[1],
+            threshold=args.threshold)
+        print(comparison.render())
+        # non-zero on regression, same contract as run_benches --compare
+        return 1 if comparison.regressions else 0
+    except FileNotFoundError as exc:
+        raise ExperimentError(
+            f"no such run in ledger {args.ledger}: {exc}") from exc
 
-    The recorder stays installed for the handler's whole lifetime (so
-    simulation *and* analysis spans land in one trace) and the requested
-    export files are written even if the handler fails.
+
+def _dispatch_with_obs(handler, args: argparse.Namespace) -> int:
+    """Run a handler under the full telemetry stack when flags ask for it.
+
+    - ``--trace/--metrics/-v`` install a :class:`FlightRecorder` for the
+      handler's whole lifetime (so simulation *and* analysis spans land
+      in one trace); exports are written even if the handler fails.
+    - ``--events/--ledger/--serve-obs`` additionally install a run
+      :class:`~repro.obs.events.EventLog` (under the ledger directory
+      when only ``--ledger`` is given) and stamp the run id onto every
+      log line.
+    - ``--serve-obs PORT`` serves /metrics, /status, /events and /trace
+      live for the duration of the command.
     """
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
     verbose = getattr(args, "verbose", False)
-    if not (trace_path or metrics_path or verbose):
+    serve_port = getattr(args, "serve_obs", None)
+    events_path = getattr(args, "events", None)
+    ledger_dir = getattr(args, "ledger", None)
+    if not (trace_path or metrics_path or verbose or events_path
+            or ledger_dir is not None or serve_port is not None):
         return handler(args)
+
+    run_id = obs.events.new_run_id()
+    args.run_id = run_id
+    obs.log.configure(getattr(args, "log_level", "info"), run_id=run_id)
+    # heartbeats feed both the -v log lines and the live /status board
     recorder = obs.FlightRecorder(
-        heartbeat_interval=HEARTBEAT_INTERVAL if verbose else None)
+        heartbeat_interval=HEARTBEAT_INTERVAL
+        if (verbose or serve_port is not None) else None)
+
+    if events_path:
+        log_path = Path(events_path)
+    elif ledger_dir is not None:
+        log_path = Path(ledger_dir) / run_id / "events.jsonl"
+    elif serve_port is not None:
+        # serving needs an event stream even if nobody asked to keep it
+        args._obs_tmpdir = tempfile.TemporaryDirectory(prefix="repro-obs-")
+        log_path = Path(args._obs_tmpdir.name) / "events.jsonl"
+    else:
+        log_path = None
+    event_log = obs.EventLog(log_path, run_id=run_id) \
+        if log_path is not None else None
+
+    server = None
+    if serve_port is not None:
+        board = obs.StatusBoard(run_id=run_id)
+        if event_log is not None:
+            event_log.add_listener(board.on_event)
+        server = obs.ObsServer(port=serve_port, recorder=recorder,
+                               board=board, event_log=event_log)
     try:
         with recorder:
-            return handler(args)
+            if event_log is not None:
+                obs.events.install(event_log)
+            if server is not None:
+                server.start()
+            try:
+                return handler(args)
+            finally:
+                if server is not None:
+                    server.stop()
+                if event_log is not None:
+                    if obs.events.current() is event_log:
+                        obs.events.uninstall()
+                    event_log.close()
+                    if events_path or ledger_dir is not None:
+                        log.info("event log written to %s", log_path)
     finally:
         if trace_path:
             recorder.write_trace(trace_path)
@@ -342,6 +459,9 @@ def _dispatch_with_obs(handler, args: argparse.Namespace) -> int:
         if metrics_path:
             recorder.write_metrics(metrics_path)
             log.info("metrics written to %s", metrics_path)
+        tmpdir = getattr(args, "_obs_tmpdir", None)
+        if tmpdir is not None:
+            tmpdir.cleanup()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -357,8 +477,11 @@ def main(argv: list[str] | None = None) -> int:
         "save": cmd_save,
         "load": cmd_load,
         "migrate-store": cmd_migrate_store,
+        "runs": cmd_runs,
     }
     try:
+        if args.command == "runs":  # pure reader — no telemetry stack
+            return cmd_runs(args)
         return _dispatch_with_obs(handlers[args.command], args)
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)

@@ -62,6 +62,8 @@ def write_checkpoint(directory: str | Path, state: dict,
     os.replace(tmp, final)
     obs.add("checkpoint.writes_total")
     obs.observe("checkpoint.bytes", len(payload))
+    obs.event("checkpoint.write", path=final.name, sim_time=sim_time,
+              bytes=len(payload))
     return final
 
 
@@ -133,6 +135,8 @@ def latest_checkpoint(directory: str | Path) -> tuple[Path, dict]:
             log.warning("skipping unusable checkpoint %s (%s)",
                         path.name, exc.check)
             obs.add("checkpoint.quarantined_total")
+            obs.event("checkpoint.quarantine", path=path.name,
+                      check=exc.check)
     raise CheckpointError(
         f"all {len(candidates)} checkpoints in {directory} are corrupt",
         path=Path(directory), check="sha256")

@@ -21,10 +21,13 @@ from __future__ import annotations
 import math
 import tempfile
 import time as _time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro import obs
+from repro.obs import events as obsevents
+from repro.obs import ledger as obsledger
 from repro.bgp.messages import UpdateKind
 from repro.errors import ExperimentError
 from repro.experiment import checkpoint as ckpt
@@ -99,6 +102,57 @@ DEFAULT_CHECKPOINT_BUDGET = 0.05
 _log = obs.log.get_logger("driver")
 
 
+@contextmanager
+def _stage(tracer, name, stage_seconds, **attrs):
+    """One driver stage: a tracing span bracketed by run events.
+
+    Accumulates into ``stage_seconds[name]`` (the simulate stage of a
+    resumed run adds to the pre-crash figure restored from the
+    checkpoint). Event emission is a no-op unless an
+    :class:`~repro.obs.events.EventLog` is installed.
+    """
+    obs.event("stage.start", stage=name, **attrs)
+    with tracer.span(f"driver.{name}", **attrs) as sp:
+        yield sp
+    stage_seconds[name] = stage_seconds.get(name, 0.0) + sp.duration
+    obs.event("stage.end", stage=name, seconds=round(sp.duration, 4))
+
+
+def _record_run(result: "ExperimentResult", config, run_id, ledger_dir,
+                fault_plan=None, shards=None) -> None:
+    """Emit the ``run.end`` event and persist the ledger manifest."""
+    corpus = result.corpus
+    obs.event("run.end", wall_seconds=round(result.wall_seconds, 3),
+              packets=corpus.total_packets(), scanners=len(result.population))
+    if ledger_dir is None:
+        return
+    from repro.experiment.store import corpus_digest
+    recorder = obs.current()
+    event_log = obsevents.current()
+    manifest = obsledger.build_manifest(
+        run_id=run_id or (event_log.run_id if event_log is not None
+                          else obsevents.new_run_id()),
+        config=config,
+        stage_seconds=result.stage_seconds,
+        wall_seconds=result.wall_seconds,
+        stage_cpu_seconds=result.stage_cpu_seconds,
+        shards=shards,
+        corpus_summary={
+            "total_packets": corpus.total_packets(),
+            "telescopes": {name: len(corpus.table(name))
+                           for name in corpus.tables_by_telescope}},
+        corpus_digest=corpus_digest(corpus),
+        coverage_gaps=corpus.coverage_gaps,
+        fault_plan=(obsledger.config_to_dict(fault_plan)
+                    if fault_plan is not None else None),
+        metrics=(recorder.metrics.snapshot()
+                 if recorder is not None else None),
+        events_file=(str(event_log.path)
+                     if event_log is not None else None))
+    path = obsledger.write_manifest(ledger_dir, manifest)
+    _log.info("run %s recorded in ledger: %s", manifest["run_id"], path)
+
+
 def run_experiment(config: ExperimentConfig | None = None,
                    registry: ASRegistry | None = None,
                    faults: FaultInjector | FaultPlan | None = None,
@@ -108,7 +162,9 @@ def run_experiment(config: ExperimentConfig | None = None,
                    checkpoint_budget: float | None = DEFAULT_CHECKPOINT_BUDGET,
                    after_checkpoint=None,
                    shards: int | str | None = None,
-                   shard_executor=None) -> ExperimentResult:
+                   shard_executor=None,
+                   run_id: str | None = None,
+                   ledger_dir: str | Path | None = None) -> ExperimentResult:
     """Run one full measurement campaign and return its result.
 
     ``faults`` arms a :class:`repro.faults.FaultPlan` (or a prebuilt
@@ -134,6 +190,13 @@ def run_experiment(config: ExperimentConfig | None = None,
     rather than silently corrupting restart points. ``shard_executor``
     injects a reusable process pool (see
     :func:`repro.experiment.sharding.shard_pool`).
+
+    ``ledger_dir`` records the run in the durable run ledger
+    (:mod:`repro.obs.ledger`): a ``run.json`` manifest with config and
+    git digests, per-stage timings, the final metrics snapshot and the
+    corpus digest, browsable with ``repro runs list|show|compare``.
+    ``run_id`` names the ledger entry (defaults to the installed event
+    log's run id, else a fresh one).
     """
     started = _time.monotonic()
     if config is None:
@@ -141,6 +204,11 @@ def run_experiment(config: ExperimentConfig | None = None,
     recorder = obs.current()
     tracer = recorder.tracer if recorder is not None else obs.Tracer()
     stage_seconds: dict[str, float] = {}
+    plan = faults.plan if isinstance(faults, FaultInjector) else faults
+    obs.event("run.start", seed=config.seed, scale=config.scale,
+              duration=config.duration,
+              shards=shards if shards is not None else None,
+              faults=plan is not None)
 
     if shards is not None:
         from repro.experiment import sharding
@@ -151,13 +219,17 @@ def run_experiment(config: ExperimentConfig | None = None,
                 "the worker event loops have no shared epoch barrier to "
                 "snapshot at — drop checkpoint_dir, or run with "
                 "shards=None to checkpoint")
-        return _run_sharded(config, registry, faults, num_shards,
-                            shard_executor, tracer, recorder, started)
+        result = _run_sharded(config, registry, faults, num_shards,
+                              shard_executor, tracer, recorder, started,
+                              run_id=run_id)
+        _record_run(result, config, run_id, ledger_dir,
+                    fault_plan=plan, shards=num_shards)
+        return result
 
     with tracer.span("driver.run_experiment",
                      seed=config.seed, scale=config.scale):
         streams = RngStreams(config.seed)
-        with tracer.span("driver.build_deployment") as sp:
+        with _stage(tracer, "build_deployment", stage_seconds):
             deployment = build_deployment(
                 streams,
                 baseline_weeks=config.baseline_weeks,
@@ -167,7 +239,6 @@ def run_experiment(config: ExperimentConfig | None = None,
                 num_tier2=config.num_tier2,
                 num_stubs=config.num_stubs,
                 feed_delay=config.feed_delay)
-        stage_seconds["build_deployment"] = sp.duration
         if registry is None:
             registry = ASRegistry()
 
@@ -180,10 +251,9 @@ def run_experiment(config: ExperimentConfig | None = None,
             t4_prefix=T4_PREFIX,
             attractor_addr=deployment.productive.attractor_addr,
             duration=config.duration)
-        with tracer.span("driver.build_population") as sp:
+        with _stage(tracer, "build_population", stage_seconds):
             population = build_population(config.population, inputs,
                                           registry, streams)
-        stage_seconds["build_population"] = sp.duration
 
         batch_emit = config.batch_emit if config.batch_emit is not None \
             else batch_emit_default()
@@ -197,20 +267,18 @@ def run_experiment(config: ExperimentConfig | None = None,
             window_start=0.0,
             window_end=config.duration)
 
-        with tracer.span("driver.schedule_scanners",
-                         scanners=len(population)) as sp:
+        with _stage(tracer, "schedule_scanners", stage_seconds,
+                    scanners=len(population)):
             for scanner in population:
                 _register_rdns(deployment, scanner)
                 scanner.start(context)
-        stage_seconds["schedule_scanners"] = sp.duration
 
         injector: FaultInjector | None = None
         if faults is not None:
             injector = faults if isinstance(faults, FaultInjector) \
                 else FaultInjector(faults, seed=config.seed)
-            with tracer.span("driver.install_faults") as sp:
+            with _stage(tracer, "install_faults", stage_seconds):
                 injector.install(deployment)
-            stage_seconds["install_faults"] = sp.duration
 
         manager: ckpt.CheckpointManager | None = None
         if checkpoint_dir is not None:
@@ -222,18 +290,20 @@ def run_experiment(config: ExperimentConfig | None = None,
             # initial restart point, outside the simulate stage: resume
             # skips the build stages entirely, and its measured cost
             # seeds the overhead-budget projection for the simulate loop
-            with tracer.span("driver.checkpoint_setup") as sp:
+            with _stage(tracer, "checkpoint_setup", stage_seconds):
                 _write_snapshot(config, registry, deployment, population,
                                 context, injector, manager, stage_seconds)
-            stage_seconds["checkpoint_setup"] = sp.duration
 
-        return _finish_run(config, registry, deployment, population,
-                           context, injector, manager, stage_seconds,
-                           tracer, recorder, started)
+        result = _finish_run(config, registry, deployment, population,
+                             context, injector, manager, stage_seconds,
+                             tracer, recorder, started)
+    _record_run(result, config, run_id, ledger_dir, fault_plan=plan)
+    return result
 
 
 def _run_sharded(config, registry, faults, num_shards, shard_executor,
-                 tracer, recorder, started) -> ExperimentResult:
+                 tracer, recorder, started,
+                 run_id: str | None = None) -> ExperimentResult:
     """Coordinator side of a sharded build (DESIGN §8).
 
     Builds its own deployment/population replica for the corpus metadata
@@ -260,7 +330,7 @@ def _run_sharded(config, registry, faults, num_shards, shard_executor,
     with tracer.span("driver.run_experiment", seed=config.seed,
                      scale=config.scale, shards=num_shards):
         streams = RngStreams(config.seed)
-        with tracer.span("driver.build_deployment") as sp:
+        with _stage(tracer, "build_deployment", stage_seconds):
             deployment = build_deployment(
                 streams,
                 baseline_weeks=config.baseline_weeks,
@@ -270,7 +340,6 @@ def _run_sharded(config, registry, faults, num_shards, shard_executor,
                 num_tier2=config.num_tier2,
                 num_stubs=config.num_stubs,
                 feed_delay=config.feed_delay)
-        stage_seconds["build_deployment"] = sp.duration
         if registry is None:
             registry = ASRegistry()
 
@@ -283,10 +352,9 @@ def _run_sharded(config, registry, faults, num_shards, shard_executor,
             t4_prefix=T4_PREFIX,
             attractor_addr=deployment.productive.attractor_addr,
             duration=config.duration)
-        with tracer.span("driver.build_population") as sp:
+        with _stage(tracer, "build_population", stage_seconds):
             population = build_population(config.population, inputs,
                                           registry, streams)
-        stage_seconds["build_population"] = sp.duration
 
         context = ScannerContext(
             simulator=deployment.simulator,
@@ -300,29 +368,27 @@ def _run_sharded(config, registry, faults, num_shards, shard_executor,
 
         # the coordinator replica never runs: scanners are registered
         # (RDNS for the corpus resolver) but not started
-        with tracer.span("driver.schedule_scanners",
-                         scanners=len(population), sharded=True) as sp:
+        with _stage(tracer, "schedule_scanners", stage_seconds,
+                    scanners=len(population), sharded=True):
             for scanner in population:
                 _register_rdns(deployment, scanner)
-        stage_seconds["schedule_scanners"] = sp.duration
 
         injector: FaultInjector | None = None
         if plan is not None:
             injector = faults if isinstance(faults, FaultInjector) \
                 else FaultInjector(plan, seed=config.seed)
-            with tracer.span("driver.install_faults") as sp:
+            with _stage(tracer, "install_faults", stage_seconds):
                 # arms blackout windows on the coordinator captures so
                 # coverage gaps package correctly; the flap events fire
                 # during the recording pass below, baking the fault's
                 # BGP activity into the recorded timeline
                 injector.install(deployment)
-            stage_seconds["install_faults"] = sp.duration
 
         # recording pass: with no scanners scheduled, only the
         # infrastructure events run. Its collector journal is the
         # routing timeline the workers replay (DESIGN §8), so the BGP
         # convergence flood is simulated exactly once per campaign.
-        with tracer.span("driver.record_timeline") as sp:
+        with _stage(tracer, "record_timeline", stage_seconds):
             cpu_before = _time.process_time()
             deployment.simulator.run_until(config.duration)
             stage_cpu = {"record_timeline":
@@ -333,24 +399,50 @@ def _run_sharded(config, registry, faults, num_shards, shard_executor,
             # would schedule thousands of per-worker no-op events
             feed = tuple(e for e in deployment.collector.journal
                          if e.kind is UpdateKind.ANNOUNCE)
-        stage_seconds["record_timeline"] = sp.duration
 
+        event_log = obsevents.current()
         with tempfile.TemporaryDirectory(prefix="repro-shards-") as spill:
-            with tracer.span("driver.shard_simulate",
-                             shards=num_shards) as sp:
-                shard_results = sharding.run_shards(
-                    config, plan, num_shards, spill,
-                    executor=shard_executor, feed=feed,
-                    record_obs=recorder is not None)
-            stage_seconds["shard_simulate"] = sp.duration
-            _fold_shard_obs(recorder, shard_results)
+            # worker telemetry spools live beside the spill chunks; the
+            # tailer streams them into the unified event log + live
+            # registry while workers run
+            spool = None
+            tailer = None
+            if recorder is not None and event_log is not None:
+                spool = Path(spill) / "obs"
+                spool.mkdir()
+                tailer = sharding.SpoolTailer(
+                    spool, num_shards, event_log=event_log,
+                    registry=recorder.metrics)
+                tailer.start()
+            try:
+                with _stage(tracer, "shard_simulate", stage_seconds,
+                            shards=num_shards):
+                    shard_results = sharding.run_shards(
+                        config, plan, num_shards, spill,
+                        executor=shard_executor, feed=feed,
+                        record_obs=recorder is not None,
+                        obs_spool=spool,
+                        run_id=(event_log.run_id
+                                if event_log is not None else run_id),
+                        heartbeat_interval=(recorder.heartbeat_interval
+                                            if recorder is not None
+                                            else None))
+            finally:
+                if tailer is not None:
+                    tailer.stop()
+            _fold_shard_obs(
+                recorder, shard_results,
+                skip_counter_shards=(tailer.folded_shards
+                                     if tailer is not None else ()))
+            if recorder is not None and spool is not None:
+                sharding.merge_shard_traces(recorder, spool, num_shards)
             context.packets_emitted = sum(
                 r["packets_emitted"] for r in shard_results)
             context.packets_unrouted = sum(
                 r["packets_unrouted"] for r in shard_results)
 
-            with tracer.span("driver.package_corpus",
-                             shards=num_shards) as sp:
+            with _stage(tracer, "package_corpus", stage_seconds,
+                        shards=num_shards):
                 # window-at-a-time merge over the lazily opened spill
                 # manifests: every window is fully materialized before
                 # the spill directory is cleaned up, but the coordinator
@@ -374,7 +466,6 @@ def _run_sharded(config, registry, faults, num_shards, shard_executor,
                         name: tuple(telescope.capture.blackout_windows)
                         for name, telescope in deployment.telescopes.items()
                         if telescope.capture.blackout_windows})
-            stage_seconds["package_corpus"] = sp.duration
 
     return ExperimentResult(
         corpus=corpus, deployment=deployment, population=population,
@@ -384,23 +475,38 @@ def _run_sharded(config, registry, faults, num_shards, shard_executor,
                      for res in shard_results])
 
 
-def _fold_shard_obs(recorder, shard_results) -> None:
+def _fold_shard_obs(recorder, shard_results,
+                    skip_counter_shards=()) -> None:
     """Surface worker metrics and timings in the coordinator registry.
 
     Every folded series gains a ``shard=<i>`` label, so worker counters
     stay attributable and never collide with the coordinator's own.
+    ``skip_counter_shards`` names shards whose counters the live
+    :class:`~repro.experiment.sharding.SpoolTailer` already streamed in
+    (workers emit a final ``metrics.delta`` before exiting, so the live
+    folds sum exactly to the snapshot) — folding the snapshot again
+    would double-count them; gauges and histograms are not streamed and
+    always fold here.
     """
     if recorder is None:
         return
+    skip = set(skip_counter_shards)
     for res in shard_results:
-        recorder.metrics.merge_snapshot(res["metrics"], shard=res["shard"])
+        snapshot = res["metrics"]
+        if res["shard"] in skip:
+            snapshot = {k: v for k, v in snapshot.items()
+                        if k != "counters"}
+        recorder.metrics.merge_snapshot(snapshot, shard=res["shard"])
         for stage, seconds in res["stage_seconds"].items():
             recorder.metrics.gauge("shard.stage_seconds", stage=stage,
                                    shard=res["shard"]).set(seconds)
 
 
 def resume_experiment(checkpoint_dir: str | Path,
-                      after_checkpoint=None) -> ExperimentResult:
+                      after_checkpoint=None,
+                      run_id: str | None = None,
+                      ledger_dir: str | Path | None = None) \
+        -> ExperimentResult:
     """Continue a killed campaign from its newest valid checkpoint.
 
     Restores the whole simulation graph (clock, pending events, RNG
@@ -424,16 +530,23 @@ def resume_experiment(checkpoint_dir: str | Path,
                                   DEFAULT_CHECKPOINT_BUDGET))
     manager.seed_cost(state.get("checkpoint_last_cost", 0.0))
     obs.add("checkpoint.resumes_total")
+    obs.event("run.resume", checkpoint=path.name,
+              sim_time=deployment.simulator.now,
+              horizon=config.duration)
     _log.info("resuming from %s at t=%.0f (horizon %.0f)", path.name,
               deployment.simulator.now, config.duration)
     with tracer.span("driver.resume_experiment",
                      sim_time=deployment.simulator.now,
                      checkpoint=path.name):
-        return _finish_run(config, state["registry"], deployment,
-                           state["population"], state["context"],
-                           state.get("faults"), manager,
-                           dict(state.get("stage_seconds", {})),
-                           tracer, recorder, started)
+        result = _finish_run(config, state["registry"], deployment,
+                             state["population"], state["context"],
+                             state.get("faults"), manager,
+                             dict(state.get("stage_seconds", {})),
+                             tracer, recorder, started)
+    injector = state.get("faults")
+    _record_run(result, config, run_id, ledger_dir,
+                fault_plan=injector.plan if injector is not None else None)
+    return result
 
 
 def _finish_run(config, registry, deployment, population, context,
@@ -445,7 +558,8 @@ def _finish_run(config, registry, deployment, population, context,
     if recorder is not None:
         recorder.attach(deployment.simulator, config.duration)
     try:
-        with tracer.span("driver.simulate", horizon=config.duration) as sp:
+        with _stage(tracer, "simulate", stage_seconds,
+                    horizon=config.duration):
             if manager is None:
                 deployment.simulator.run_until(config.duration)
             else:
@@ -455,8 +569,6 @@ def _finish_run(config, registry, deployment, population, context,
     finally:
         if recorder is not None:
             recorder.detach(deployment.simulator)
-    stage_seconds["simulate"] = \
-        stage_seconds.get("simulate", 0.0) + sp.duration
     if manager is not None:
         # wall seconds spent on snapshots inside the simulate stage
         # (included in the simulate figure above); the overhead budget
@@ -466,11 +578,10 @@ def _finish_run(config, registry, deployment, population, context,
     if batch_emit:
         # sessions only *resolved* during the run materialize now, one
         # cross-session kernel call per scanner
-        with tracer.span("driver.flush_batches") as sp:
+        with _stage(tracer, "flush_batches", stage_seconds):
             context.flush_batches()
-        stage_seconds["flush_batches"] = sp.duration
 
-    with tracer.span("driver.package_corpus") as sp:
+    with _stage(tracer, "package_corpus", stage_seconds):
         # batch runs package columns only — Packet objects materialize
         # lazily if an analysis asks for them
         packets_by = None if batch_emit else {
@@ -494,7 +605,6 @@ def _finish_run(config, registry, deployment, population, context,
                 name: tuple(telescope.capture.blackout_windows)
                 for name, telescope in deployment.telescopes.items()
                 if telescope.capture.blackout_windows})
-    stage_seconds["package_corpus"] = sp.duration
 
     return ExperimentResult(
         corpus=corpus, deployment=deployment, population=population,

@@ -43,8 +43,10 @@ analysis fan-outs.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor
 from contextlib import nullcontext
@@ -54,6 +56,8 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro import obs
+from repro.obs import events as obsevents
+from repro.obs.metrics import _parse_key
 from repro.analysis.parallel import fan_out
 from repro.bgp.collector import CollectorEntry
 from repro.bgp.messages import UpdateKind
@@ -252,6 +256,20 @@ class ShardTask:
     #: rows per spill chunk — the coordinator's merge window granularity
     #: and the unit of lazy loading on its side.
     chunk_rows: int = DEFAULT_CHUNK_ROWS
+    #: directory for per-shard telemetry spools (heartbeat/metric-delta
+    #: events + the span-tree dump the coordinator merges into one
+    #: Chrome trace); ``None`` disables spooling.
+    obs_spool: str | None = None
+    #: the campaign's run id, stamped on every spooled event record and
+    #: onto the worker's log lines (``<run_id>/s<shard>``).
+    run_id: str | None = None
+    #: sim-seconds between worker heartbeat/metric-delta events
+    #: (``None``/0 = no periodic beats, only start/end records).
+    heartbeat_interval: float | None = None
+    #: pid of the coordinator — a worker only reconfigures process-wide
+    #: logging when it actually runs in a different process (the serial
+    #: fallback path executes tasks inside the coordinator).
+    coordinator_pid: int = 0
 
 
 def run_shard(task: ShardTask) -> dict:
@@ -264,7 +282,6 @@ def run_shard(task: ShardTask) -> dict:
     shards, wall time includes time-slicing that says nothing about the
     per-shard work.
     """
-    config = task.config
     stage_wall: dict[str, float] = {}
     stage_cpu: dict[str, float] = {}
     last = [time.perf_counter(), time.process_time()]
@@ -275,8 +292,45 @@ def run_shard(task: ShardTask) -> dict:
         stage_cpu[name] = now_cpu - last[1]
         last[0], last[1] = now_wall, now_cpu
 
+    # telemetry spooling: the worker's own event log (stamped shard=i)
+    # plus, at the end, its full span tree — the coordinator tails the
+    # former live and merges the latter into the single campaign trace.
+    # The inherited process-wide event log (fork pool) or the live
+    # coordinator one (serial fallback) is saved and restored, never
+    # written to from shard code.
+    previous_log = obsevents.current()
+    event_log: obsevents.EventLog | None = None
+    spooling = task.record_obs and task.obs_spool is not None
+    if spooling:
+        event_log = obsevents.EventLog(
+            obsevents.spool_path(task.obs_spool, task.shard),
+            run_id=task.run_id, shard=task.shard)
+        obsevents.install(event_log)
+        if task.run_id and os.getpid() != task.coordinator_pid:
+            obs.log.configure(run_id=f"{task.run_id}/s{task.shard}")
+    else:
+        obsevents.uninstall()
+    try:
+        return _run_shard_body(task, stage, stage_wall, stage_cpu)
+    finally:
+        if event_log is not None:
+            event_log.close()
+        if previous_log is not None:
+            obsevents.install(previous_log)
+        else:
+            obsevents.uninstall()
+
+
+def _run_shard_body(task: ShardTask, stage, stage_wall: dict,
+                    stage_cpu: dict) -> dict:
+    config = task.config
+    spooling = task.record_obs and task.obs_spool is not None
     with (obs.FlightRecorder() if task.record_obs
           else nullcontext()) as recorder:
+        if recorder is not None and task.heartbeat_interval:
+            recorder.heartbeat_interval = task.heartbeat_interval
+        obsevents.emit("shard.start", pid=os.getpid(),
+                       shards=task.num_shards)
         with obs.span("shard.run", shard=task.shard,
                       shards=task.num_shards):
             streams = RngStreams(config.seed)
@@ -333,7 +387,13 @@ def run_shard(task: ShardTask) -> dict:
                     deployment, control_plane=task.feed is None)
             stage("schedule")
 
-            simulator.run_until(config.duration)
+            if recorder is not None and task.heartbeat_interval:
+                recorder.attach(simulator, config.duration)
+            try:
+                simulator.run_until(config.duration)
+            finally:
+                if recorder is not None and task.heartbeat_interval:
+                    recorder.detach(simulator)
             stage("simulate")
 
             context.flush_batches()
@@ -352,6 +412,19 @@ def run_shard(task: ShardTask) -> dict:
             stage("spill")
         snapshot = recorder.metrics.snapshot() \
             if recorder is not None else {}
+        if spooling and recorder is not None:
+            # flush_batches/spill moved counters after the simulate-stage
+            # detach; ship the remainder so the live deltas sum exactly
+            # to the final snapshot
+            recorder.emit_metric_deltas()
+            obsevents.write_trace_spool(
+                obsevents.trace_spool_path(task.obs_spool, task.shard),
+                recorder.tracer.chrome_events(),
+                recorder.tracer.anchor_wall(), task.shard)
+        obsevents.emit("shard.end", pid=os.getpid(),
+                       scanners=len(mine),
+                       packets_emitted=context.packets_emitted,
+                       stage_seconds=stage_wall)
 
     return {
         "shard": task.shard,
@@ -366,6 +439,131 @@ def run_shard(task: ShardTask) -> dict:
 
 
 # -- coordinator -----------------------------------------------------------
+
+
+class SpoolTailer:
+    """Tail shard-worker event spools into the coordinator's telemetry.
+
+    A daemon thread polls each worker's spool file for complete lines
+    (:func:`repro.obs.events.iter_complete_lines` — half-written records
+    are never parsed), then for every new record:
+
+    - forwards it into the coordinator's unified :class:`EventLog`
+      (preserving the worker's timestamps and ``shard`` field), which
+      also fans it out to listeners — that is how the live
+      :class:`~repro.obs.server.StatusBoard` sees per-shard progress
+      while workers are still running;
+    - folds ``metrics.delta`` counter increments into the live
+      coordinator registry under a ``shard=<i>`` label, so ``/metrics``
+      moves during the simulate stage instead of jumping at merge time.
+
+    ``stop()`` performs one final drain, so every record a worker wrote
+    before exiting lands in the unified log even if it arrived between
+    the last poll and shutdown. Counters folded live are exactly the
+    worker's final snapshot (workers emit a last delta before exiting),
+    so the coordinator's end-of-run fold skips counters for shards the
+    tailer already consumed (``_fold_shard_obs(skip_counters=...)``).
+    """
+
+    def __init__(self, spool_dir: str | Path, num_shards: int,
+                 event_log: "obsevents.EventLog | None" = None,
+                 registry=None, poll_interval: float = 0.25) -> None:
+        self.spool_dir = Path(spool_dir)
+        self.num_shards = num_shards
+        self.event_log = event_log
+        self.registry = registry
+        self.poll_interval = poll_interval
+        self._offsets = {shard: 0 for shard in range(num_shards)}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: shards whose counter deltas were folded into the registry.
+        self.folded_shards: set[int] = set()
+
+    def start(self) -> "SpoolTailer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-spool-tailer", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.drain()  # pick up anything written after the last poll
+
+    def __enter__(self) -> "SpoolTailer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            self.drain()
+
+    def drain(self) -> int:
+        """Consume all new complete records; returns how many."""
+        consumed = 0
+        for shard in range(self.num_shards):
+            lines, offset = obsevents.iter_complete_lines(
+                obsevents.spool_path(self.spool_dir, shard),
+                self._offsets[shard])
+            self._offsets[shard] = offset
+            for line in lines:
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                consumed += 1
+                self._consume(shard, record)
+        return consumed
+
+    def _consume(self, shard: int, record: dict) -> None:
+        if record.get("kind") == "metrics.delta" \
+                and self.registry is not None:
+            self.folded_shards.add(shard)
+            for key, moved in (record.get("counters") or {}).items():
+                name, labels = _parse_key(key)
+                labels["shard"] = str(shard)
+                try:
+                    self.registry.counter(name, **labels).inc(float(moved))
+                except (TypeError, ValueError):
+                    pass
+        if self.event_log is not None:
+            self.event_log.forward(record)
+
+
+def merge_shard_traces(recorder, spool_dir: str | Path,
+                       num_shards: int) -> int:
+    """Fold every worker's span-tree spool into ``recorder``'s trace.
+
+    Worker spans keep their OS pid (labeled ``shard <i>`` via Chrome
+    ``process_name`` metadata) and are shifted onto the coordinator's
+    timeline using the difference of the two tracers' wall-clock anchors
+    — so a span that ran at wall time T renders at the same instant in
+    every process track. Returns the number of shards merged.
+    """
+    if recorder is None:
+        return 0
+    anchor = recorder.tracer.anchor_wall()
+    merged = 0
+    for shard in range(num_shards):
+        payload = obsevents.read_trace_spool(
+            obsevents.trace_spool_path(spool_dir, shard))
+        if payload is None:
+            continue
+        shift_us = (float(payload.get("anchor_wall", anchor)) - anchor) * 1e6
+        events = [dict(ev, ts=ev.get("ts", 0.0) + shift_us)
+                  for ev in payload["events"]]
+        recorder.add_foreign_events(
+            events, pid=payload.get("pid"), name=f"shard {shard}")
+        merged += 1
+    return merged
 
 
 def shard_pool(max_workers: int) -> ProcessPoolExecutor:
@@ -390,11 +588,17 @@ def run_shards(config: ExperimentConfig,
                spill_dir: str | Path,
                executor: Executor | None = None,
                feed: tuple[CollectorEntry, ...] | None = None,
-               record_obs: bool = True) -> list[dict]:
+               record_obs: bool = True,
+               obs_spool: str | Path | None = None,
+               run_id: str | None = None,
+               heartbeat_interval: float | None = None) -> list[dict]:
     """Fan the shard tasks out and return worker results in shard order.
 
     ``feed`` is the recorded collector journal every worker replays
-    (see :class:`ShardTask`). Uses :func:`fan_out` with an injected
+    (see :class:`ShardTask`). ``obs_spool``/``run_id``/
+    ``heartbeat_interval`` arm worker-side telemetry spooling (see
+    :class:`ShardTask`); start a :class:`SpoolTailer` over the same
+    directory to consume it live. Uses :func:`fan_out` with an injected
     process pool, so shard workers get the same bounded-retry and
     serial-fallback treatment as analysis tasks (a shard whose worker
     dies twice reruns in the coordinator — slower, never wrong, and
@@ -404,7 +608,10 @@ def run_shards(config: ExperimentConfig,
         f"shard-{index}": partial(run_shard, ShardTask(
             config=config, plan=plan, shard=index,
             num_shards=num_shards, spill_dir=str(spill_dir),
-            feed=feed, record_obs=record_obs))
+            feed=feed, record_obs=record_obs,
+            obs_spool=str(obs_spool) if obs_spool is not None else None,
+            run_id=run_id, heartbeat_interval=heartbeat_interval,
+            coordinator_pid=os.getpid()))
         for index in range(num_shards)}
     pool = executor if executor is not None else shard_pool(num_shards)
     try:

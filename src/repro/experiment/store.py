@@ -227,6 +227,9 @@ class _ChunkReader:
     def quarantine(self, exc: StoreError) -> PacketTable:
         self.broken = True
         obs.add("store.chunks_quarantined_total", telescope=self.telescope)
+        obs.event("store.quarantine", unit="chunk",
+                  telescope=self.telescope, chunk=self.entry["name"],
+                  check=exc.check, gap=list(self.gap_window))
         existing = self.gaps.get(self.telescope, ())
         self.gaps[self.telescope] = tuple(
             sorted(set(existing) | {self.gap_window}))
@@ -504,6 +507,9 @@ def _load_tables_v1(directory: Path, meta: dict, config: ExperimentConfig,
             # quarantine: the telescope loads empty and its whole run
             # becomes a coverage gap so analyses normalize, not crash
             obs.add("store.segments_quarantined_total", telescope=telescope)
+            obs.event("store.quarantine", unit="segment",
+                      telescope=telescope, segment=segment.name,
+                      check=exc.check)
             warn_degraded(
                 f"corpus segment {segment.name} quarantined "
                 f"(failed {exc.check} check): {telescope} loads empty",

@@ -236,6 +236,8 @@ class FaultInjector:
         """
         self.blackouts_started += 1
         obs.add("faults.blackouts_total", telescope=telescope)
+        obs.event("fault.blackout", telescope=telescope,
+                  start=start, end=end)
         log.info("fault: %s blackout [%.0f, %.0f) begins",
                  telescope, start, end)
 
@@ -251,6 +253,8 @@ class FaultInjector:
             for prefix in cycle.prefixes:
                 controller.speaker.withdraw_origin(prefix)
             obs.add("bgp.withdrawals_total", len(cycle.prefixes))
+            obs.event("fault.flap", phase="down", start=flap.start,
+                      end=flap.end, prefixes=len(cycle.prefixes))
             log.info("fault: BGP flap withdrew %d prefixes at t=%.0f",
                      len(cycle.prefixes), flap.start)
 
@@ -264,6 +268,8 @@ class FaultInjector:
             for prefix in cycle.prefixes:
                 controller.speaker.originate(prefix)
             obs.add("bgp.announcements_total", len(cycle.prefixes))
+            obs.event("fault.flap", phase="up", start=flap.start,
+                      end=flap.end, prefixes=len(cycle.prefixes))
 
     # -- store corruption ---------------------------------------------------
 
@@ -294,6 +300,7 @@ class FaultInjector:
             blob[offset] ^= 0xFF
             path.write_bytes(bytes(blob))
             obs.add("faults.segments_corrupted_total")
+            obs.event("fault.corrupt", path=str(path), offset=offset)
             corrupted.append(path)
 
         for name in self.plan.corrupt_segments:

@@ -23,11 +23,14 @@ With no recorder installed every helper is a global read plus a ``None``
 check — cheap enough for per-packet hot paths.
 """
 
-from repro.obs import log
+from repro.obs import events, ledger, log, server
+from repro.obs.events import EventLog
+from repro.obs.events import emit as event
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
 from repro.obs.recorder import (FlightRecorder, add, current, install,
                                 observe, set_gauge, span, traced,
                                 uninstall)
+from repro.obs.server import ObsServer, StatusBoard
 from repro.obs.trace import NULL_SPAN, Span, Tracer
 
 __all__ = [
@@ -35,5 +38,6 @@ __all__ = [
     "Span", "Tracer", "NULL_SPAN",
     "FlightRecorder", "current", "install", "uninstall",
     "span", "add", "set_gauge", "observe", "traced",
-    "log",
+    "log", "events", "event", "EventLog", "server", "ObsServer",
+    "StatusBoard", "ledger",
 ]

@@ -30,6 +30,21 @@ _PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
 _PROM_LABEL = re.compile(r"[^a-zA-Z0-9_]")
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format requires escaping inside ``label="..."``.
+    """
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def escape_help_text(text: str) -> str:
+    """Escape a ``# HELP`` docstring (backslash and newline only)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_items(labels: dict[str, object]) -> LabelItems:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
@@ -199,6 +214,12 @@ class MetricsRegistry:
         self._counters: dict[tuple[str, LabelItems], Counter] = {}
         self._gauges: dict[tuple[str, LabelItems], Gauge] = {}
         self._histograms: dict[tuple[str, LabelItems], Histogram] = {}
+        self._help: dict[str, str] = {}
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` docstring to a metric family."""
+        with self._lock:
+            self._help[name] = help_text
 
     # -- get-or-create -----------------------------------------------------
 
@@ -285,50 +306,60 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent)
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (one block per metric name)."""
+        """Prometheus text exposition format (one block per metric name).
+
+        Conformant with the text format 0.0.4: every family gets one
+        ``# HELP`` and one ``# TYPE`` line (``describe`` customizes the
+        help text), label values are escaped (backslash, quote,
+        newline), histograms emit cumulative ``_bucket`` series ending
+        in ``le="+Inf"`` plus ``_sum``/``_count``, and the exposition
+        ends with a trailing newline.
+        """
         lines: list[str] = []
         seen_types: set[str] = set()
 
-        def emit(name: str, kind: str, labels: LabelItems, value: float,
-                 extra: tuple[tuple[str, str], ...] = ()) -> None:
+        def header(name: str, kind: str) -> str:
+            """Sanitized family name, emitting HELP/TYPE exactly once."""
             prom = _PROM_NAME.sub("_", name)
             if prom not in seen_types:
                 seen_types.add(prom)
+                help_text = help_map.get(name, f"repro {kind} {name}")
+                lines.append(f"# HELP {prom} {escape_help_text(help_text)}")
                 lines.append(f"# TYPE {prom} {kind}")
+            return prom
+
+        def sample(prom: str, labels: LabelItems, value: float,
+                   extra: tuple[tuple[str, str], ...] = ()) -> None:
             items = labels + extra
             rendered = "{" + ",".join(
-                f'{_PROM_LABEL.sub("_", k)}="{v}"' for k, v in items) + "}" \
-                if items else ""
+                f'{_PROM_LABEL.sub("_", k)}="{escape_label_value(v)}"'
+                for k, v in items) + "}" if items else ""
             if value == math.inf:
                 text = "+Inf"
             elif float(value).is_integer():
                 text = str(int(value))
             else:
-                text = repr(value)
+                text = repr(float(value))
             lines.append(f"{prom}{rendered} {text}")
 
         with self._lock:
             counters = sorted(self._counters.items())
             gauges = sorted(self._gauges.items())
             histograms = sorted(self._histograms.items())
+            help_map = dict(self._help)
         for (name, labels), counter in counters:
-            emit(name, "counter", labels, counter.value)
+            sample(header(name, "counter"), labels, counter.value)
         for (name, labels), gauge in gauges:
-            emit(name, "gauge", labels, gauge.value)
+            sample(header(name, "gauge"), labels, gauge.value)
         for (name, labels), hist in histograms:
-            prom = _PROM_NAME.sub("_", name)
-            if prom not in seen_types:
-                seen_types.add(prom)
-                lines.append(f"# TYPE {prom} histogram")
-            seen_types.update((prom + "_bucket", prom + "_sum",
-                               prom + "_count"))
+            prom = header(name, "histogram")
             cumulative = 0
             for bound, count in zip(hist.bounds, hist._counts):
                 cumulative += count
-                emit(name + "_bucket", "", labels, cumulative,
-                     extra=(("le", repr(bound)),))
-            emit(name + "_bucket", "", labels, hist.count,
-                 extra=(("le", "+Inf"),))
-            emit(name + "_sum", "", labels, hist.sum)
-            emit(name + "_count", "", labels, hist.count)
+                sample(prom + "_bucket", labels, cumulative,
+                       extra=(("le", repr(bound)),))
+            sample(prom + "_bucket", labels, hist.count,
+                   extra=(("le", "+Inf"),))
+            sample(prom + "_sum", labels, hist.sum)
+            sample(prom + "_count", labels, hist.count)
         return "\n".join(lines) + "\n"

@@ -16,12 +16,14 @@ from __future__ import annotations
 
 import functools
 import json
+import os
 import time
 from typing import Any, Callable
 
+from repro.obs import events as obsevents
 from repro.obs import log as obslog
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import NULL_SPAN, Tracer
+from repro.obs.trace import NULL_SPAN, Tracer, process_name_event
 
 _DAY = 86400.0
 
@@ -120,7 +122,13 @@ class FlightRecorder:
         self._attach_wall = 0.0
         self._beat_wall = 0.0
         self._beat_events = 0
+        self._beat_counters: dict[str, float] = {}
         self._previous: FlightRecorder | None = None
+        #: Chrome trace events merged in from other processes (shard
+        #: workers), already shifted onto this tracer's timeline.
+        self.foreign_events: list[dict] = []
+        #: pid -> display name for merged-trace process tracks.
+        self.process_names: dict[int, str] = {}
 
     # -- process-wide installation ----------------------------------------
 
@@ -162,6 +170,7 @@ class FlightRecorder:
             - metrics.counter("sim.events_cancelled_total").value)
         metrics.gauge("sim.queue_high_water").set_max(queue.high_water)
         metrics.gauge("sim.queue_depth").set(len(queue))
+        self.emit_metric_deltas()
 
     def _heartbeat(self, simulator) -> None:
         now_wall = time.monotonic()
@@ -179,17 +188,75 @@ class FlightRecorder:
         self.metrics.gauge("sim.progress").set(frac)
         self.metrics.gauge("sim.queue_high_water").set_max(
             simulator.queue.high_water)
+        obsevents.emit("heartbeat", sim_days=round(simulator.now / _DAY, 3),
+                       progress=round(frac, 6), events=events,
+                       events_per_sec=round(rate, 1), queue_depth=depth,
+                       eta_s=round(eta, 1) if eta != float("inf") else None)
+        self.emit_metric_deltas()
         self.log.info(
             "heartbeat: t=%.1fd (%.0f%% of horizon) | %s events "
             "(%.0f ev/s) | queue depth %s | ETA %.0fs",
             simulator.now / _DAY, frac * 100.0, f"{events:,}", rate,
             f"{depth:,}", eta)
 
+    def emit_metric_deltas(self) -> None:
+        """Emit the counter movement since the last call as one event.
+
+        Shard workers call this on every heartbeat (and once at detach),
+        so the coordinator's spool tailer can fold worker counters into
+        its live registry incrementally — the deltas over a worker's
+        lifetime sum exactly to its final snapshot.
+        """
+        if obsevents.current() is None:
+            return
+        snapshot = self.metrics.snapshot()["counters"]
+        deltas = {}
+        for key, value in snapshot.items():
+            moved = value - self._beat_counters.get(key, 0.0)
+            if moved:
+                deltas[key] = moved
+        self._beat_counters = snapshot
+        if deltas:
+            obsevents.emit("metrics.delta", counters=deltas)
+
+    # -- cross-process trace merging ---------------------------------------
+
+    def add_foreign_events(self, events: list[dict],
+                           pid: int | None = None,
+                           name: str | None = None) -> None:
+        """Merge Chrome trace events from another process into the trace.
+
+        ``events`` must already be shifted onto this tracer's timeline
+        (see :meth:`repro.obs.trace.Tracer.anchor_wall`); ``name``
+        labels the ``pid``'s process track in the merged trace.
+        """
+        self.foreign_events.extend(events)
+        if pid is not None and name:
+            self.process_names[int(pid)] = name
+
+    def chrome_trace(self) -> dict:
+        """The merged Chrome trace: local spans + foreign (shard) spans,
+        plus process-name metadata so every pid reads as a labeled track."""
+        events = self.tracer.chrome_events()
+        names = dict(self.process_names)
+        if self.foreign_events or names:
+            names.setdefault(os.getpid(), "coordinator")
+        events.extend(self.foreign_events)
+        events.sort(key=lambda e: e.get("ts", 0))
+        meta = [process_name_event(pid, name)
+                for pid, name in sorted(names.items())]
+        return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
     # -- export ------------------------------------------------------------
 
     def write_trace(self, path: str) -> None:
-        """Chrome trace-event JSON for Perfetto / chrome://tracing."""
-        self.tracer.write_chrome_trace(path)
+        """Chrome trace-event JSON for Perfetto / chrome://tracing.
+
+        Includes any merged shard-worker spans (labeled process tracks).
+        """
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh, indent=1)
+            fh.write("\n")
 
     def write_metrics(self, path: str) -> None:
         """Metrics snapshot as JSON (Prometheus form: ``to_prometheus``)."""

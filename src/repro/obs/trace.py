@@ -194,10 +194,25 @@ class Tracer:
             walk(root, 0)
         return "\n".join(lines)
 
-    def chrome_trace(self) -> dict:
-        """Chrome trace-event JSON object (``traceEvents`` array)."""
+    def anchor_wall(self) -> float:
+        """Wall-clock (epoch seconds) at this tracer's ``ts=0``.
+
+        Lets another process shift these spans onto its own trace
+        timeline: the difference between two tracers' anchors is the
+        offset between their ``ts`` scales.
+        """
+        return time.time() - (time.perf_counter() - self.epoch)
+
+    def chrome_events(self, pid: int | None = None,
+                      shift_us: float = 0.0) -> list[dict]:
+        """Flat Chrome trace events (``ph: "X"``), sorted by start.
+
+        ``pid`` overrides the process id stamped on every event and
+        ``shift_us`` translates their timestamps — both used when a
+        coordinator merges shard-worker span trees into one trace.
+        """
         events: list[dict] = []
-        pid = os.getpid()
+        pid = os.getpid() if pid is None else pid
         epoch = self.epoch
 
         def walk(span: Span) -> None:
@@ -208,7 +223,7 @@ class Tracer:
                 "name": span.name,
                 "cat": "repro",
                 "ph": "X",
-                "ts": (span.start - epoch) * 1e6,
+                "ts": (span.start - epoch) * 1e6 + shift_us,
                 "dur": (end - span.start) * 1e6,
                 "pid": pid,
                 "tid": span.tid,
@@ -220,12 +235,28 @@ class Tracer:
         for root in self.roots():
             walk(root)
         events.sort(key=lambda e: e["ts"])
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        return events
+
+    def chrome_trace(self) -> dict:
+        """Chrome trace-event JSON object (``traceEvents`` array)."""
+        return {"traceEvents": self.chrome_events(),
+                "displayTimeUnit": "ms"}
 
     def write_chrome_trace(self, path: str) -> None:
         with open(path, "w") as fh:
             json.dump(self.chrome_trace(), fh, indent=1)
             fh.write("\n")
+
+
+def process_name_event(pid: int, name: str) -> dict:
+    """A Chrome-trace metadata event labeling ``pid`` in the UI.
+
+    Perfetto renders each pid as a process track titled with this name —
+    how merged shard traces stay attributable ("shard 0", "shard 1",
+    "coordinator") even though every worker has an arbitrary OS pid.
+    """
+    return {"name": "process_name", "ph": "M", "cat": "__metadata",
+            "ts": 0, "pid": pid, "tid": 0, "args": {"name": name}}
 
 
 def _jsonable(value: Any) -> Any:

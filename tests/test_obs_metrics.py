@@ -6,8 +6,11 @@ import threading
 
 import pytest
 
+import re
+
 from repro.obs.metrics import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
-                               MetricsRegistry)
+                               MetricsRegistry, escape_help_text,
+                               escape_label_value)
 
 
 class TestCounter:
@@ -166,6 +169,69 @@ class TestPrometheusExport:
         registry = MetricsRegistry()
         registry.counter("a.b-c/d").inc()
         assert "a_b_c_d 1" in registry.to_prometheus()
+
+
+class TestPrometheusConformance:
+    """Exposition format 0.0.4 conformance of ``to_prometheus``."""
+
+    #: ``name{labels} value`` — the sample-line grammar, labels optional.
+    SAMPLE = re.compile(
+        r'^[a-zA-Z_:][a-zA-Z0-9_:]*'                       # metric name
+        r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"'     # first label
+        r'(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})?'
+        r' [0-9eE.+\-]+(inf|nan)?$', re.IGNORECASE)
+
+    def _full_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("pkts.total", telescope="T1", kind="icmp").inc(3)
+        registry.counter("pkts.total", telescope="T2", kind="tcp").inc(5)
+        registry.gauge("sim.queue_depth").set(7.5)
+        hist = registry.histogram("session.bytes", bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 500.0):
+            hist.observe(value)
+        return registry
+
+    def test_every_family_has_help_and_type(self):
+        text = self._full_registry().to_prometheus()
+        for family, kind in (("pkts_total", "counter"),
+                             ("sim_queue_depth", "gauge"),
+                             ("session_bytes", "histogram")):
+            assert f"# HELP {family} " in text
+            assert f"# TYPE {family} {kind}" in text
+            # exactly one HELP/TYPE pair per family, not per series
+            assert text.count(f"# TYPE {family} ") == 1
+
+    def test_describe_customizes_help_text(self):
+        registry = MetricsRegistry()
+        registry.describe("pkts.total", "Packets seen,\nall telescopes")
+        registry.counter("pkts.total").inc()
+        text = registry.to_prometheus()
+        # newline in help text is escaped, not emitted raw
+        assert "# HELP pkts_total Packets seen,\\nall telescopes" in text
+
+    def test_histogram_emits_sum_count_and_inf(self):
+        text = self._full_registry().to_prometheus()
+        assert 'session_bytes_bucket{le="1.0"} 1' in text
+        assert 'session_bytes_bucket{le="10.0"} 2' in text
+        assert 'session_bytes_bucket{le="+Inf"} 3' in text
+        assert "session_bytes_sum 505.5" in text
+        assert "session_bytes_count 3" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='a"b\\c\nd').inc()
+        text = registry.to_prometheus()
+        assert 'c{path="a\\"b\\\\c\\nd"} 1' in text
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+        assert escape_help_text("a\\b\nc") == "a\\\\b\\nc"
+
+    def test_every_line_matches_the_grammar(self):
+        text = self._full_registry().to_prometheus()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert self.SAMPLE.match(line), f"malformed sample: {line!r}"
 
 
 class TestMergeSnapshot:

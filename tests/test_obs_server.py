@@ -1,0 +1,189 @@
+"""Tests for repro.obs.server — the live status/metrics HTTP server."""
+
+import http.client
+import json
+
+import pytest
+
+from repro import obs
+from repro.experiment import ExperimentConfig, run_experiment
+from repro.obs import events as obsevents
+from repro.obs.server import ObsServer, StatusBoard
+
+
+def _get(port, path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10.0)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.getheader("Content-Type"), \
+            response.read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+class TestStatusBoard:
+    def _board_after(self, records):
+        board = StatusBoard(run_id="r")
+        for record in records:
+            board.on_event(record)
+        return board.snapshot()
+
+    def test_stage_lifecycle(self):
+        state = self._board_after([
+            {"kind": "stage.start", "stage": "simulate"},
+        ])
+        assert state["stage"] == "simulate"
+        state = self._board_after([
+            {"kind": "stage.start", "stage": "simulate"},
+            {"kind": "stage.end", "stage": "simulate", "seconds": 1.25},
+        ])
+        assert state["stage"] is None
+        assert state["stages_done"] == {"simulate": 1.25}
+
+    def test_coordinator_vs_shard_heartbeats(self):
+        state = self._board_after([
+            {"kind": "heartbeat", "sim_days": 2.0, "progress": 0.5},
+            {"kind": "heartbeat", "shard": 1, "sim_days": 1.0,
+             "progress": 0.25, "events_per_sec": 100.0},
+        ])
+        assert state["progress"]["sim_days"] == 2.0
+        assert state["shards"]["1"]["sim_days"] == 1.0
+        assert state["shards"]["1"]["events_per_sec"] == 100.0
+
+    def test_shard_lifecycle_and_run_end(self):
+        state = self._board_after([
+            {"kind": "shard.start", "shard": 0},
+            {"kind": "shard.end", "shard": 0, "packets_emitted": 123},
+            {"kind": "run.end"},
+        ])
+        assert state["shards"]["0"]["done"] is True
+        assert state["shards"]["0"]["packets_emitted"] == 123
+        assert state["stage"] == "done"
+
+    def test_run_id_adopted_from_stream(self):
+        board = StatusBoard()
+        board.on_event({"kind": "run.start", "run_id": "from-stream"})
+        assert board.snapshot()["run_id"] == "from-stream"
+
+
+class TestEndpoints:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        recorder = obs.FlightRecorder()
+        recorder.metrics.counter("srv.packets_total", telescope="T1").inc(9)
+        board = StatusBoard(run_id="r-endpoints")
+        log = obsevents.EventLog(tmp_path / "events.jsonl",
+                                 run_id="r-endpoints")
+        log.add_listener(board.on_event)
+        for index in range(5):
+            log.emit("tick", i=index)
+        with recorder.tracer.span("unit.work"):
+            pass
+        with ObsServer(port=0, recorder=recorder, board=board,
+                       event_log=log) as srv:
+            yield srv
+        log.close()
+
+    def test_metrics_is_prometheus_text(self, server):
+        status, content_type, body = _get(server.port, "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        assert "# TYPE srv_packets_total counter" in body
+        assert 'srv_packets_total{telescope="T1"} 9' in body
+
+    def test_status_is_json_projection(self, server):
+        status, content_type, body = _get(server.port, "/status")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        doc = json.loads(body)
+        assert doc["run_id"] == "r-endpoints"
+        assert doc["events_seen"] == 5
+        assert doc["last_event"] == "tick"
+        assert "uptime_s" in doc
+
+    def test_events_tail(self, server):
+        _, _, body = _get(server.port, "/events?n=2")
+        events = json.loads(body)
+        assert [e["i"] for e in events] == [3, 4]
+        _, _, body = _get(server.port, "/events")
+        assert len(json.loads(body)) == 5
+
+    def test_events_bad_n_falls_back_to_default(self, server):
+        status, _, body = _get(server.port, "/events?n=bogus")
+        assert status == 200
+        assert len(json.loads(body)) == 5
+
+    def test_trace_is_chrome_json(self, server):
+        _, _, body = _get(server.port, "/trace")
+        trace = json.loads(body)
+        names = {e.get("name") for e in trace["traceEvents"]}
+        assert "unit.work" in names
+
+    def test_root_lists_endpoints_and_unknown_is_404(self, server):
+        status, _, body = _get(server.port, "/")
+        assert status == 200
+        assert "/metrics" in body
+        status, _, _ = _get(server.port, "/nope")
+        assert status == 404
+
+    def test_fallback_to_installed_recorder(self, tmp_path):
+        """A server built with no explicit references serves the
+        process-wide installed recorder and event log."""
+        with obs.FlightRecorder():
+            obs.add("fallback.counter_total")
+            with obsevents.EventLog(tmp_path / "e.jsonl") as log:
+                log.emit("installed")
+                with ObsServer(port=0) as srv:
+                    _, _, metrics = _get(srv.port, "/metrics")
+                    _, _, events = _get(srv.port, "/events")
+        assert "fallback_counter_total 1" in metrics
+        assert json.loads(events)[0]["kind"] == "installed"
+
+    def test_no_recorder_degrades_gracefully(self):
+        obs.uninstall()
+        obsevents.uninstall()
+        with ObsServer(port=0) as srv:
+            status, _, metrics = _get(srv.port, "/metrics")
+            assert status == 200
+            assert metrics.startswith("# no recorder")
+            _, _, events = _get(srv.port, "/events")
+            assert json.loads(events) == []
+            _, _, trace = _get(srv.port, "/trace")
+            assert json.loads(trace)["traceEvents"] == []
+
+
+class TestLiveStatusDuringRun:
+    def test_status_reflects_run_in_progress(self, tmp_path):
+        """Scrape /status *while* run_experiment executes in-thread.
+
+        An event-log listener fires an HTTP GET at the first
+        ``stage.end`` — deterministic mid-run observation without
+        polling races.
+        """
+        board = StatusBoard()
+        mid_run: list = []
+        with obs.FlightRecorder(), \
+                obsevents.EventLog(tmp_path / "events.jsonl",
+                                   run_id="live") as log:
+            log.add_listener(board.on_event)
+            with ObsServer(port=0, board=board, event_log=log) as srv:
+
+                def scrape_once(record):
+                    if record["kind"] == "stage.end" and not mid_run:
+                        mid_run.append(json.loads(
+                            _get(srv.port, "/status")[2]))
+
+                log.add_listener(scrape_once)
+                run_experiment(ExperimentConfig.tiny())
+                _, _, final_body = _get(srv.port, "/status")
+        assert mid_run, "no stage.end observed during the run"
+        live = mid_run[0]
+        assert live["run_id"] == "live"
+        assert live["stage"] != "done"
+        assert len(live["stages_done"]) == 1
+        final = json.loads(final_body)
+        assert final["stage"] == "done"
+        assert {"build_population", "simulate", "package_corpus"} \
+            <= set(final["stages_done"])

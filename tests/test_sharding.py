@@ -5,6 +5,8 @@ build must be byte-identical to the unsharded one for any shard count,
 including under an active fault plan (blackout + flap + delivery loss).
 """
 
+import os
+
 import pytest
 
 from repro import obs
@@ -236,6 +238,106 @@ class TestDigestParity:
         for shard in (0, 1):
             assert f"shard.stage_seconds{{shard={shard},stage=simulate}}" \
                 in gauges
+
+
+class TestDistributedTelemetry:
+    """Cross-process trace/metric/event unification (DESIGN §10)."""
+
+    NUM_SHARDS = 4
+
+    @pytest.fixture()
+    def telemetry_run(self, tmp_path, worker_pool):
+        from repro.obs import events as obsevents
+        with obs.FlightRecorder() as recorder, \
+                obsevents.EventLog(tmp_path / "events.jsonl",
+                                   run_id="telemetry") as log:
+            run_experiment(ExperimentConfig.tiny(), shards=self.NUM_SHARDS,
+                           shard_executor=worker_pool)
+        return recorder, log
+
+    def test_merged_trace_labels_every_shard(self, telemetry_run):
+        recorder, _ = telemetry_run
+        trace = recorder.chrome_trace()
+        names = {event["args"]["name"]: event["pid"]
+                 for event in trace["traceEvents"]
+                 if event.get("ph") == "M"
+                 and event.get("name") == "process_name"}
+        expected = {"coordinator"} | {f"shard {i}"
+                                      for i in range(self.NUM_SHARDS)}
+        assert expected <= set(names)
+        # every labeled pid is distinct and has real spans under it
+        assert len(set(names.values())) == len(names)
+        spans_by_pid = {event["pid"] for event in trace["traceEvents"]
+                        if event.get("ph") == "X"}
+        for label in expected:
+            assert names[label] in spans_by_pid, f"no spans for {label}"
+
+    def test_worker_spans_land_on_coordinator_timeline(self, telemetry_run):
+        recorder, _ = telemetry_run
+        trace = recorder.chrome_trace()
+        coordinator_pid = next(
+            event["pid"] for event in trace["traceEvents"]
+            if event.get("ph") == "M"
+            and event["args"]["name"] == "coordinator")
+        coord = [e for e in trace["traceEvents"]
+                 if e.get("ph") == "X" and e["pid"] == coordinator_pid]
+        workers = [e for e in trace["traceEvents"]
+                   if e.get("ph") == "X" and e["pid"] != coordinator_pid]
+        assert workers
+        # anchor-shifted worker spans sit inside the coordinator's
+        # traced window, not at their local epoch near ts=0
+        coord_end = max(e["ts"] + e.get("dur", 0) for e in coord)
+        assert min(e["ts"] for e in workers) > min(e["ts"] for e in coord)
+        assert max(e["ts"] + e.get("dur", 0) for e in workers) \
+            <= coord_end + 1e6  # ≤1s clock skew between processes
+
+    def test_event_log_records_shard_lifecycle(self, telemetry_run):
+        from repro.obs import events as obsevents
+        _, log = telemetry_run
+        events = obsevents.read_events(log.path)
+        kinds = [e["kind"] for e in events]
+        assert kinds.count("shard.start") == self.NUM_SHARDS
+        assert kinds.count("shard.end") == self.NUM_SHARDS
+        shards_seen = {e.get("shard") for e in events
+                       if e["kind"] == "shard.end"}
+        assert shards_seen == set(range(self.NUM_SHARDS))
+        # forwarded worker records share the campaign run id; shard
+        # attribution rides on the spool's static ``shard`` field
+        worker_runs = {e["run_id"] for e in events
+                       if e["kind"] == "shard.end"}
+        assert worker_runs == {"telemetry"}
+        # workers really ran out-of-process
+        worker_pids = {e.get("pid") for e in events
+                       if e["kind"] == "shard.start"}
+        assert os.getpid() not in worker_pids
+
+    def test_live_fold_equals_snapshot_fold(self, tmp_path, worker_pool):
+        """Live metric-delta streaming must not double count.
+
+        The same sharded build is run twice: once with an event log
+        (deltas folded live by the spool tailer, final snapshots folded
+        with counters skipped) and once without (final snapshots only).
+        Counter series must agree exactly.
+        """
+        from repro.obs import events as obsevents
+
+        def shard_counters(with_event_log):
+            with obs.FlightRecorder() as recorder:
+                if with_event_log:
+                    with obsevents.EventLog(tmp_path / "fold.jsonl"):
+                        run_experiment(ExperimentConfig.tiny(), shards=2,
+                                       shard_executor=worker_pool)
+                else:
+                    run_experiment(ExperimentConfig.tiny(), shards=2,
+                                   shard_executor=worker_pool)
+            return {key: value for key, value
+                    in recorder.metrics.snapshot()["counters"].items()
+                    if "shard=" in key}
+
+        live = shard_counters(with_event_log=True)
+        snapshot_only = shard_counters(with_event_log=False)
+        assert live == snapshot_only
+        assert live, "no shard-labeled counters were folded"
 
 
 class TestShardingGuards:
