@@ -25,6 +25,10 @@ production throughput:
   pass CPU + worst worker simulate+flush CPU, each worker alone in a
   fresh process) and speedup (see ``bench_shard_scaling.py`` for the
   methodology);
+- ``shard_faults`` — the shard supervisor's clean-run overhead
+  (supervised process backend vs a bare pool, acceptance <= 5%) and
+  the wall cost of recovering one SIGKILLed worker via retry,
+  digest-checked (see ``bench_shard_faults.py``);
 - ``store_oocore`` — the v1 eager-npz vs v2 chunked-mmap store matrix
   (cold load, phase-sliced query, full materialization, each in a
   fresh subprocess), with the acceptance criteria — peak-RSS ratios,
@@ -77,6 +81,7 @@ from repro.experiment import ExperimentConfig, Phase, run_experiment
 from repro.experiment.checkpoint import list_checkpoints
 
 from bench_obs_server import bench_obs_server
+from bench_shard_faults import bench_shard_faults
 from bench_shard_scaling import bench_shard_scaling
 from bench_store_oocore import bench_store_oocore
 
@@ -203,6 +208,10 @@ def main() -> None:
                         help="skip the shard-scaling sweep (several extra "
                              "full campaigns: unsharded + 1/2/4 shards, "
                              "twice each)")
+    parser.add_argument("--skip-shard-faults", action="store_true",
+                        help="skip the shard-supervision overhead / "
+                             "kill-retry bench (several extra sharded "
+                             "campaigns)")
     parser.add_argument("--skip-store", action="store_true",
                         help="skip the out-of-core store matrix (one v1 + "
                              "one v2 save plus seven measurement "
@@ -308,6 +317,22 @@ def main() -> None:
                   f"-> {run['speedup']}x")
         stage_rss["shard_scaling"] = _peak_rss_kb()
 
+    shard_faults = None
+    if not args.skip_shard_faults:
+        print("  shard supervision overhead + kill-retry cost ...")
+        shard_faults = bench_shard_faults(args.seed, args.scale)
+        clean = shard_faults["clean"]
+        retry = shard_faults["kill_retry"]
+        print(f"    clean run: supervised {clean['supervised_wall']:.2f}s "
+              f"vs pool {clean['pool_wall']:.2f}s "
+              f"({clean['supervision_overhead_fraction']:+.2%} overhead, "
+              f"budget {clean['overhead_budget']:.0%}"
+              f"{'' if clean['within_budget'] else ' EXCEEDED'})")
+        print(f"    one killed worker: {retry['wall']:.2f}s "
+              f"(+{retry['retry_cost_seconds']:.2f}s to recover, "
+              "digest byte-identical)")
+        stage_rss["shard_faults"] = _peak_rss_kb()
+
     store_oocore = None
     if not args.skip_store:
         print("  out-of-core store (v1 npz vs v2 chunked mmap) ...")
@@ -399,6 +424,7 @@ def main() -> None:
         "peak_rss_kb": stage_rss,
         "robustness": robustness,
         "shard_scaling": shard_scaling,
+        "shard_faults": shard_faults,
         "store_oocore": store_oocore,
         "obs_server": obs_server,
         "speedup_cold_analysis": {

@@ -115,14 +115,36 @@ def build_parser() -> argparse.ArgumentParser:
                               "budget (default 0.05; 0 writes every "
                               "boundary)")
         cmd.add_argument("--resume", action="store_true",
-                         help="continue from the newest valid checkpoint "
-                              "in --checkpoint-dir instead of starting "
-                              "fresh")
+                         help="continue from --checkpoint-dir instead of "
+                              "starting fresh: the newest valid snapshot "
+                              "of an unsharded run, or (sharded) only "
+                              "the shards the manifest shows incomplete")
         cmd.add_argument("--shards", metavar="N|auto", default=None,
-                         help="build the corpus with N worker processes "
-                              "('auto' = one per CPU); byte-identical "
-                              "to the unsharded build, incompatible "
-                              "with --checkpoint-dir")
+                         help="build the corpus with N supervised "
+                              "worker processes ('auto' = one per CPU); "
+                              "byte-identical to the unsharded build. "
+                              "With --checkpoint-dir, completed shards "
+                              "persist and --resume re-runs only the "
+                              "missing ones")
+        cmd.add_argument("--shard-retries", metavar="N", type=int,
+                         default=None,
+                         help="max executions per shard before the run "
+                              "fails or degrades (default 3; 1 = fail "
+                              "fast)")
+        cmd.add_argument("--shard-timeout", metavar="SECS", type=float,
+                         default=None,
+                         help="wall-clock budget for the heaviest "
+                              "shard's first attempt; a worker making "
+                              "no progress for its (load-scaled) budget "
+                              "is killed and retried (default: no "
+                              "timeout)")
+        cmd.add_argument("--on-shard-failure", choices=("raise", "degrade"),
+                         default="raise",
+                         help="after a shard exhausts its retries: "
+                              "'raise' aborts the run (default), "
+                              "'degrade' quarantines the shard as "
+                              "coverage gaps over its scanners' "
+                              "traffic")
         cmd.add_argument("--ledger", metavar="DIR", default=None,
                          help="record the run in this ledger directory "
                               "(run.json manifest + event log; browse "
@@ -202,7 +224,13 @@ def _simulate(args: argparse.Namespace):
         result = resume_experiment(checkpoint_dir, run_id=run_id,
                                    ledger_dir=ledger_dir)
     else:
-        config = ExperimentConfig(seed=args.seed, scale=args.scale)
+        retries = getattr(args, "shard_retries", None)
+        config = ExperimentConfig(
+            seed=args.seed, scale=args.scale,
+            retry_policy=({"max_attempts": retries}
+                          if retries is not None else None),
+            shard_timeout=getattr(args, "shard_timeout", None),
+            on_shard_failure=getattr(args, "on_shard_failure", "raise"))
         faults = None
         if getattr(args, "faults", None):
             from repro.faults import FaultPlan

@@ -39,6 +39,26 @@ class FaultError(ReproError):
     """A fault-injection plan is malformed or cannot be installed."""
 
 
+class ShardError(ExperimentError):
+    """A shard worker failed terminally (crash, hang, broken pool).
+
+    Carries the shard index, the attempt that exhausted the retry
+    budget, a short machine-readable cause (``exitcode -9``,
+    ``timeout``, ``BrokenProcessPool``), and the tail of the worker's
+    captured stderr, so operators see the worker's actual traceback
+    instead of a bare pool exception raised in the coordinator.
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None,
+                 attempt: int = 0, cause: str = "",
+                 stderr_tail: str = "") -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.attempt = attempt
+        self.cause = cause
+        self.stderr_tail = stderr_tail
+
+
 class StoreError(ReproError):
     """Persisted data (corpus segment, checkpoint) is missing or corrupt.
 

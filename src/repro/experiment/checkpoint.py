@@ -44,14 +44,17 @@ def checkpoint_name(sim_time: float) -> str:
     return f"ckpt_{int(sim_time):015d}.rpck"
 
 
-def write_checkpoint(directory: str | Path, state: dict,
-                     sim_time: float) -> Path:
-    """Atomically persist ``state`` as the checkpoint for ``sim_time``."""
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
+def write_state(path: str | Path, state: dict) -> Path:
+    """Atomically persist ``state`` in checkpoint format at ``path``.
+
+    The shared primitive under :func:`write_checkpoint` and the sharded
+    setup snapshot: magic + sha256 + pickle, written to a ``.tmp``
+    sibling, fsynced, then renamed into place.
+    """
+    final = Path(path)
+    final.parent.mkdir(parents=True, exist_ok=True)
     payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
     digest = hashlib.sha256(payload).digest()
-    final = directory / checkpoint_name(sim_time)
     tmp = final.with_suffix(".tmp")
     with open(tmp, "wb") as fh:
         fh.write(MAGIC)
@@ -60,10 +63,17 @@ def write_checkpoint(directory: str | Path, state: dict,
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, final)
-    obs.add("checkpoint.writes_total")
     obs.observe("checkpoint.bytes", len(payload))
+    return final
+
+
+def write_checkpoint(directory: str | Path, state: dict,
+                     sim_time: float) -> Path:
+    """Atomically persist ``state`` as the checkpoint for ``sim_time``."""
+    final = write_state(Path(directory) / checkpoint_name(sim_time), state)
+    obs.add("checkpoint.writes_total")
     obs.event("checkpoint.write", path=final.name, sim_time=sim_time,
-              bytes=len(payload))
+              bytes=final.stat().st_size - len(MAGIC) - 32)
     return final
 
 

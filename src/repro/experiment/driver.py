@@ -19,9 +19,10 @@ otherwise a private throwaway tracer measures the same stages so
 from __future__ import annotations
 
 import math
+import shutil
 import tempfile
 import time as _time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -61,6 +62,10 @@ class ExperimentResult:
     #: per-worker results of a sharded build (segment row counts, wall
     #: and CPU seconds per worker stage) — ``None`` for unsharded runs.
     shard_stats: list[dict] | None = field(default=None, repr=False)
+    #: shards that exhausted their retry budget under
+    #: ``on_shard_failure="degrade"`` — their scanners' traffic is
+    #: missing from the corpus and recorded as coverage gaps.
+    quarantined_shards: tuple[int, ...] = ()
     _scanner_index: dict[int, Scanner] | None = field(
         default=None, repr=False, compare=False)
 
@@ -183,13 +188,21 @@ def run_experiment(config: ExperimentConfig | None = None,
     ``shards`` (an int or ``"auto"``) partitions the scanner population
     across that many worker processes, each running its own event loop
     against a replica of the deployment; the merged corpus is
-    byte-identical to the unsharded build (DESIGN §8). Sharding requires
-    the batched emission path and is mutually exclusive with
-    ``checkpoint_dir`` — worker event loops have no shared barrier to
-    snapshot at, so combining the two raises :class:`ExperimentError`
-    rather than silently corrupting restart points. ``shard_executor``
+    byte-identical to the unsharded build (DESIGN §8). Sharding
+    requires the batched emission path. Workers run under the
+    :class:`~repro.experiment.sharding.ShardSupervisor`: crashed or
+    hung workers are retried per ``config.retry_policy`` (with
+    per-shard timeouts derived from ``config.shard_timeout`` and the
+    LPT cost model), and ``config.on_shard_failure`` picks between a
+    terminal :class:`~repro.errors.ShardError` and quarantining the
+    shard as coverage gaps. Combined with ``checkpoint_dir``, shard
+    completions persist to a crash-safe ``shards.json`` manifest plus
+    on-disk spill segments, and :func:`resume_experiment` re-runs only
+    the shards that had not completed (DESIGN §11). ``shard_executor``
     injects a reusable process pool (see
-    :func:`repro.experiment.sharding.shard_pool`).
+    :func:`repro.experiment.sharding.shard_pool`) — supervision then
+    loses hang timeouts (a pool gives no per-worker kill handle) but
+    keeps retry and serial-fallback behavior.
 
     ``ledger_dir`` records the run in the durable run ledger
     (:mod:`repro.obs.ledger`): a ``run.json`` manifest with config and
@@ -213,15 +226,11 @@ def run_experiment(config: ExperimentConfig | None = None,
     if shards is not None:
         from repro.experiment import sharding
         num_shards = sharding.resolve_shards(shards)
-        if checkpoint_dir is not None:
-            raise ExperimentError(
-                f"cannot checkpoint a sharded run (shards={num_shards}): "
-                "the worker event loops have no shared epoch barrier to "
-                "snapshot at — drop checkpoint_dir, or run with "
-                "shards=None to checkpoint")
         result = _run_sharded(config, registry, faults, num_shards,
                               shard_executor, tracer, recorder, started,
-                              run_id=run_id)
+                              run_id=run_id,
+                              checkpoint_dir=checkpoint_dir,
+                              after_checkpoint=after_checkpoint)
         _record_run(result, config, run_id, ledger_dir,
                     fault_plan=plan, shards=num_shards)
         return result
@@ -303,8 +312,11 @@ def run_experiment(config: ExperimentConfig | None = None,
 
 def _run_sharded(config, registry, faults, num_shards, shard_executor,
                  tracer, recorder, started,
-                 run_id: str | None = None) -> ExperimentResult:
-    """Coordinator side of a sharded build (DESIGN §8).
+                 run_id: str | None = None,
+                 checkpoint_dir: str | Path | None = None,
+                 after_checkpoint=None,
+                 resume: bool = False) -> ExperimentResult:
+    """Coordinator side of a sharded build (DESIGN §8, §11).
 
     Builds its own deployment/population replica for the corpus metadata
     and the result's ground-truth handles, then simulates it once with
@@ -314,6 +326,13 @@ def _run_sharded(config, registry, faults, num_shards, shard_executor,
     replay instead of each re-running the convergence flood. All packet
     emission happens in the shard workers, whose spilled segments are
     merged (verified) at ``package_corpus``.
+
+    With ``checkpoint_dir`` the spill lives inside the checkpoint
+    directory instead of a temp dir, a setup snapshot plus a
+    ``shards.json`` manifest persist alongside it, and ``resume=True``
+    (from :func:`resume_experiment`) skips manifest-recorded shards
+    whose spill segments are intact — the recording pass itself is
+    deterministic and cheap, so it simply re-runs.
     """
     from repro.experiment import sharding
 
@@ -400,8 +419,71 @@ def _run_sharded(config, registry, faults, num_shards, shard_executor,
             feed = tuple(e for e in deployment.collector.journal
                          if e.kind is UpdateKind.ANNOUNCE)
 
+        # the LPT assignment and load table: the supervisor's per-shard
+        # timeouts scale with estimated load, and a quarantined shard's
+        # coverage gaps are derived from the scanners assigned to it
+        assign = sharding.weighted_assignment(
+            population, num_shards, config.duration, len(feed))
+        loads = sharding.shard_loads(population, assign, num_shards,
+                                     config.duration, len(feed))
+        timeouts = sharding.derive_timeouts(loads, config.shard_timeout)
+
+        manifest = None
+        completed: dict[int, dict] = {}
+        on_complete = None
+        if checkpoint_dir is not None:
+            ckpt_root = Path(checkpoint_dir)
+            spill_root = ckpt_root / "shards"
+            if not resume:
+                # a fresh run never trusts leftover sharded state in
+                # its directory (symmetric with unsharded semantics:
+                # only resume_experiment continues a previous run)
+                shutil.rmtree(spill_root, ignore_errors=True)
+                (ckpt_root / sharding.MANIFEST_NAME).unlink(
+                    missing_ok=True)
+            spill_root.mkdir(parents=True, exist_ok=True)
+            ckpt.write_state(ckpt_root / sharding.SETUP_NAME, {
+                "format_version": ckpt.FORMAT_VERSION,
+                "config": config, "plan": plan,
+                "num_shards": num_shards})
+            manifest = sharding.ShardManifest.open(ckpt_root, num_shards)
+            if resume:
+                completed = manifest.restorable(spill_root)
+                _log.info("resuming sharded run: %d/%d shards restored "
+                          "from manifest", len(completed), num_shards)
+                # wipe the crashed run's remnants for every shard that
+                # re-executes — partial spills, worker result/stderr
+                # files, and telemetry spools the tailer would otherwise
+                # re-fold from offset zero
+                spool_root = spill_root / "obs"
+                for shard in range(num_shards):
+                    if shard in completed:
+                        continue
+                    shutil.rmtree(spill_root / f"shard{shard:03d}",
+                                  ignore_errors=True)
+                    for stale in (
+                            spill_root / f"shard{shard:03d}.result.json",
+                            spill_root / f"shard{shard:03d}.stderr",
+                            Path(obsevents.spool_path(spool_root, shard)),
+                            Path(obsevents.trace_spool_path(spool_root,
+                                                            shard))):
+                        try:
+                            stale.unlink()
+                        except FileNotFoundError:
+                            pass
+
+            def on_complete(shard: int, result: dict,
+                            _manifest=manifest) -> None:
+                path = _manifest.record(shard, result)
+                if after_checkpoint is not None:
+                    after_checkpoint(path)
+
+            spill_ctx = nullcontext(str(spill_root))
+        else:
+            spill_ctx = tempfile.TemporaryDirectory(prefix="repro-shards-")
+
         event_log = obsevents.current()
-        with tempfile.TemporaryDirectory(prefix="repro-shards-") as spill:
+        with spill_ctx as spill:
             # worker telemetry spools live beside the spill chunks; the
             # tailer streams them into the unified event log + live
             # registry while workers run
@@ -409,7 +491,7 @@ def _run_sharded(config, registry, faults, num_shards, shard_executor,
             tailer = None
             if recorder is not None and event_log is not None:
                 spool = Path(spill) / "obs"
-                spool.mkdir()
+                spool.mkdir(exist_ok=True)
                 tailer = sharding.SpoolTailer(
                     spool, num_shards, event_log=event_log,
                     registry=recorder.metrics)
@@ -426,20 +508,26 @@ def _run_sharded(config, registry, faults, num_shards, shard_executor,
                                 if event_log is not None else run_id),
                         heartbeat_interval=(recorder.heartbeat_interval
                                             if recorder is not None
-                                            else None))
+                                            else None),
+                        timeouts=timeouts, tailer=tailer,
+                        completed=completed, on_complete=on_complete)
             finally:
                 if tailer is not None:
                     tailer.stop()
+            quarantined = tuple(
+                shard for shard, res in enumerate(shard_results)
+                if res is None)
+            live_results = [r for r in shard_results if r is not None]
             _fold_shard_obs(
-                recorder, shard_results,
+                recorder, live_results,
                 skip_counter_shards=(tailer.folded_shards
                                      if tailer is not None else ()))
             if recorder is not None and spool is not None:
                 sharding.merge_shard_traces(recorder, spool, num_shards)
             context.packets_emitted = sum(
-                r["packets_emitted"] for r in shard_results)
+                r["packets_emitted"] for r in live_results)
             context.packets_unrouted = sum(
-                r["packets_unrouted"] for r in shard_results)
+                r["packets_unrouted"] for r in live_results)
 
             with _stage(tracer, "package_corpus", stage_seconds,
                         shards=num_shards):
@@ -449,7 +537,18 @@ def _run_sharded(config, registry, faults, num_shards, shard_executor,
                 # never holds the concatenated corpus AND a lexsorted
                 # copy of it at once
                 tables = merge_chunked_shards(
-                    sharding.open_shard_segments(shard_results))
+                    sharding.open_shard_segments(live_results))
+                # coverage gaps: blackout windows, plus — for every
+                # quarantined shard — the activity envelope of the
+                # scanners whose traffic is now missing (all telescopes)
+                gap_windows = {
+                    name: list(telescope.capture.blackout_windows)
+                    for name, telescope in deployment.telescopes.items()}
+                for shard in quarantined:
+                    windows = sharding.quarantine_windows(
+                        population, assign, shard, config.duration)
+                    for name in gap_windows:
+                        gap_windows[name].extend(windows)
                 corpus = PacketCorpus(
                     config=config,
                     packets_by_telescope=None,
@@ -463,16 +562,19 @@ def _run_sharded(config, registry, faults, num_shards, shard_executor,
                     t4_prefix=T4_PREFIX,
                     attractor_addr=deployment.productive.attractor_addr,
                     coverage_gaps={
-                        name: tuple(telescope.capture.blackout_windows)
-                        for name, telescope in deployment.telescopes.items()
-                        if telescope.capture.blackout_windows})
+                        name: sharding.merge_windows(windows)
+                        for name, windows in gap_windows.items()
+                        if windows})
 
     return ExperimentResult(
         corpus=corpus, deployment=deployment, population=population,
         context=context, wall_seconds=_time.monotonic() - started,
         stage_seconds=stage_seconds, stage_cpu_seconds=stage_cpu,
         shard_stats=[{k: v for k, v in res.items() if k != "metrics"}
-                     for res in shard_results])
+                     if res is not None else
+                     {"shard": shard, "quarantined": True}
+                     for shard, res in enumerate(shard_results)],
+        quarantined_shards=quarantined)
 
 
 def _fold_shard_obs(recorder, shard_results,
@@ -514,8 +616,19 @@ def resume_experiment(checkpoint_dir: str | Path,
     horizon, continuing to checkpoint at the original cadence. The
     resulting corpus is byte-identical to the one an uninterrupted run
     would have produced.
+
+    A *sharded* checkpoint directory (recognized by its setup snapshot,
+    see :data:`repro.experiment.sharding.SETUP_NAME`) resumes at shard
+    granularity instead: the coordinator's recording pass re-runs
+    deterministically, shards recorded complete in ``shards.json`` are
+    restored from their on-disk spill segments, and only the missing
+    shards execute — with the same byte-identical corpus guarantee.
     """
     started = _time.monotonic()
+    from repro.experiment import sharding
+    if (Path(checkpoint_dir) / sharding.SETUP_NAME).exists():
+        return _resume_sharded(checkpoint_dir, after_checkpoint,
+                               run_id, ledger_dir, started)
     path, state = ckpt.latest_checkpoint(checkpoint_dir)
     config = state["config"]
     deployment = state["deployment"]
@@ -546,6 +659,39 @@ def resume_experiment(checkpoint_dir: str | Path,
     injector = state.get("faults")
     _record_run(result, config, run_id, ledger_dir,
                 fault_plan=injector.plan if injector is not None else None)
+    return result
+
+
+def _resume_sharded(checkpoint_dir, after_checkpoint, run_id, ledger_dir,
+                    started) -> ExperimentResult:
+    """Shard-granular resume of a killed sharded campaign.
+
+    Everything a worker needs is a pure function of ``(config, plan,
+    num_shards)``, so the coordinator re-derives the deployment replica
+    and the recorded routing timeline instead of unpickling a live
+    graph; the ``shards.json`` manifest then decides which shards are
+    already done.
+    """
+    from repro.experiment import sharding
+    state = ckpt.read_checkpoint(
+        Path(checkpoint_dir) / sharding.SETUP_NAME)
+    config = state["config"]
+    plan = state["plan"]
+    num_shards = state["num_shards"]
+    recorder = obs.current()
+    tracer = recorder.tracer if recorder is not None else obs.Tracer()
+    obs.add("checkpoint.resumes_total")
+    obs.event("run.resume", checkpoint=sharding.SETUP_NAME,
+              shards=num_shards, horizon=config.duration)
+    _log.info("resuming sharded run from %s (%d shards, horizon %.0f)",
+              checkpoint_dir, num_shards, config.duration)
+    result = _run_sharded(config, None, plan, num_shards, None,
+                          tracer, recorder, started, run_id=run_id,
+                          checkpoint_dir=checkpoint_dir,
+                          after_checkpoint=after_checkpoint,
+                          resume=True)
+    _record_run(result, config, run_id, ledger_dir,
+                fault_plan=plan, shards=num_shards)
     return result
 
 

@@ -35,10 +35,15 @@ oracle.
 
 Workers are stateless: every task rebuilds its world from the picklable
 :class:`ShardTask`, so any process pool (fresh, reused, fork or spawn)
-executes it correctly. The pool plugs into
-:func:`repro.analysis.parallel.fan_out` via its injected-executor path,
-sharing one worker pool between the sharded builder and ``--jobs``
-analysis fan-outs.
+executes it correctly, and a *retried* task re-executes byte-identically
+— the :class:`ShardSupervisor` (DESIGN §11) leans on exactly that:
+it detects crashed, hung, or pool-broken workers, retries them with
+bounded attempts and exponential backoff, and either raises a
+:class:`~repro.errors.ShardError` carrying the worker's captured stderr
+or quarantines the shard as coverage gaps (``on_shard_failure=
+"degrade"``). Completed shards are recorded in a crash-safe
+:class:`ShardManifest`, which is how a coordinator kill resumes by
+re-running only the missing shards.
 """
 
 from __future__ import annotations
@@ -46,24 +51,27 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import shutil
+import signal
+import sys
 import threading
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor
+import traceback
+from concurrent.futures import (Executor, FIRST_COMPLETED,
+                                ProcessPoolExecutor, wait as futures_wait)
 from contextlib import nullcontext
-from dataclasses import dataclass
-from functools import partial
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro import obs
 from repro.obs import events as obsevents
 from repro.obs.metrics import _parse_key
-from repro.analysis.parallel import fan_out
 from repro.bgp.collector import CollectorEntry
 from repro.bgp.messages import UpdateKind
 from repro.core.columnar import ChunkedPacketTable, PacketTable
-from repro.errors import ExperimentError
-from repro.experiment.config import ExperimentConfig
+from repro.errors import ExperimentError, ShardError
+from repro.experiment.config import ExperimentConfig, RetryPolicy
 from repro.experiment.corpus import TELESCOPE_NAMES
 from repro.experiment.store import (DEFAULT_CHUNK_ROWS, open_table_chunks,
                                     write_table_chunks)
@@ -226,6 +234,78 @@ def weighted_assignment(population: "Sequence[Scanner]", num_shards: int,
     return assign
 
 
+def shard_loads(population: "Sequence[Scanner]", assign: Mapping[int, int],
+                num_shards: int, duration: float,
+                announce_count: int = 0) -> list[float]:
+    """Estimated cost per shard under ``assign`` (the LPT load table).
+
+    The supervisor derives each shard's wall-clock timeout from these:
+    ``shard_timeout`` budgets the *heaviest* shard, lighter shards get
+    a proportional share (floored at half, since fixed per-worker setup
+    cost dominates tiny shards).
+    """
+    loads = [0.0] * num_shards
+    for scanner in population:
+        loads[assign[scanner.scanner_id]] += scanner_weight(
+            scanner, duration, announce_count)
+    return loads
+
+
+def derive_timeouts(loads: Sequence[float],
+                    shard_timeout: float | None) -> dict[int, float] | None:
+    """Per-shard timeouts from the LPT load table (None = no timeouts)."""
+    if shard_timeout is None:
+        return None
+    peak = max(loads) if loads else 0.0
+    if peak <= 0:
+        return {shard: shard_timeout for shard in range(len(loads))}
+    return {shard: shard_timeout * max(0.5, load / peak)
+            for shard, load in enumerate(loads)}
+
+
+def merge_windows(windows: Iterable[tuple[float, float]]) \
+        -> tuple[tuple[float, float], ...]:
+    """Union of half-open time windows, merged and sorted.
+
+    Coverage-gap seconds are summed window-by-window downstream
+    (:meth:`~repro.experiment.corpus.PacketCorpus.gap_seconds`), so
+    overlapping windows must be merged before they are stored.
+    """
+    merged: list[list[float]] = []
+    for start, end in sorted(windows):
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return tuple((start, end) for start, end in merged)
+
+
+def quarantine_windows(population: "Sequence[Scanner]",
+                       assign: Mapping[int, int], shard: int,
+                       duration: float) -> tuple[tuple[float, float], ...]:
+    """Coverage-gap windows of a quarantined shard's scanner traffic.
+
+    The union of the shard's scanners' activity windows, clamped to the
+    campaign: inside these windows the corpus is missing whatever those
+    scanners would have sent (to every telescope — sources spray all
+    prefixes), so analyses must treat the time as uncovered rather than
+    as genuinely quiet.
+    """
+    windows = []
+    for scanner in population:
+        if assign.get(scanner.scanner_id) != shard:
+            continue
+        start = getattr(scanner, "active_start", None)
+        end = getattr(scanner, "active_end", None)
+        start = 0.0 if start is None else max(0.0, float(start))
+        end = duration if end is None else min(duration, float(end))
+        if end > start:
+            windows.append((start, end))
+    return merge_windows(windows)
+
+
 # -- worker ----------------------------------------------------------------
 
 
@@ -270,6 +350,11 @@ class ShardTask:
     #: logging when it actually runs in a different process (the serial
     #: fallback path executes tasks inside the coordinator).
     coordinator_pid: int = 0
+    #: 1-based execution attempt, stamped by the supervisor on retries.
+    #: Purely observational plus the gate for per-attempt process
+    #: faults — the simulation itself never reads it, which is what
+    #: makes a retried shard byte-identical to a first-try run.
+    attempt: int = 1
 
 
 def run_shard(task: ShardTask) -> dict:
@@ -330,7 +415,7 @@ def _run_shard_body(task: ShardTask, stage, stage_wall: dict,
         if recorder is not None and task.heartbeat_interval:
             recorder.heartbeat_interval = task.heartbeat_interval
         obsevents.emit("shard.start", pid=os.getpid(),
-                       shards=task.num_shards)
+                       shards=task.num_shards, attempt=task.attempt)
         with obs.span("shard.run", shard=task.shard,
                       shards=task.num_shards):
             streams = RngStreams(config.seed)
@@ -383,8 +468,13 @@ def _run_shard_body(task: ShardTask, stage, stage_wall: dict,
             if task.plan is not None:
                 # with a recorded feed the flap's BGP side is already in
                 # the journal; arm only the data-plane faults
-                FaultInjector(task.plan, seed=config.seed).install(
-                    deployment, control_plane=task.feed is None)
+                injector = FaultInjector(task.plan, seed=config.seed)
+                injector.install(deployment,
+                                 control_plane=task.feed is None)
+                injector.arm_process_faults(
+                    simulator, shard=task.shard, duration=config.duration,
+                    attempt=task.attempt,
+                    coordinator_pid=task.coordinator_pid)
             stage("schedule")
 
             if recorder is not None and task.heartbeat_interval:
@@ -438,6 +528,49 @@ def _run_shard_body(task: ShardTask, stage, stage_wall: dict,
     }
 
 
+def _arm_pdeathsig() -> None:
+    """SIGKILL this worker when its parent dies (Linux only, best-effort).
+
+    A SIGKILLed coordinator cannot reap its children; without this, an
+    orphaned worker keeps spilling into a directory a resumed run is
+    about to wipe and re-fill.
+    """
+    try:
+        import ctypes
+        libc = ctypes.CDLL("libc.so.6", use_errno=True)
+        libc.prctl(1, signal.SIGKILL, 0, 0, 0)  # PR_SET_PDEATHSIG
+    except Exception:  # pragma: no cover - non-glibc platform
+        pass
+
+
+def _worker_main(runner: Callable[[ShardTask], dict], task: ShardTask,
+                 result_path: str, stderr_path: str) -> None:
+    """Supervised-process entrypoint around :func:`run_shard`.
+
+    Redirects the process's stderr fd to a per-shard capture file (so a
+    crash traceback survives the process and can be surfaced in
+    :class:`~repro.errors.ShardError`), then writes the result dict as
+    JSON — atomically, so the supervisor can trust any result file it
+    finds. An uncaught exception propagates: the traceback lands in the
+    capture file and the nonzero exitcode is the failure signal.
+    """
+    _arm_pdeathsig()
+    fd = os.open(stderr_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    os.dup2(fd, 2)
+    os.close(fd)
+    # rebind the Python-level stream too: a harness (pytest capture) may
+    # have pointed sys.stderr at a private fd, and the interpreter's own
+    # fatal-exception traceback goes through sys.stderr, not fd 2
+    sys.stderr = os.fdopen(2, "w", buffering=1, closefd=False)
+    result = runner(task)
+    tmp = result_path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(result, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, result_path)
+
+
 # -- coordinator -----------------------------------------------------------
 
 
@@ -463,6 +596,18 @@ class SpoolTailer:
     worker's final snapshot (workers emit a last delta before exiting),
     so the coordinator's end-of-run fold skips counters for shards the
     tailer already consumed (``_fold_shard_obs(skip_counters=...)``).
+    Should the poll thread ever fail to stop within its grace period,
+    the tailer degrades loudly — a warning log, a ``tailer.stalled``
+    event, a ``tailer.stalled_total`` counter — and still attempts the
+    final drain (with a bounded lock wait) instead of silently dropping
+    whatever the workers spooled last.
+
+    The supervisor calls :meth:`reset_shard` before re-executing a
+    failed shard: the spool of the dead attempt is discarded, its
+    tail offset rewinds, and every counter the tailer folded for that
+    shard is zeroed (a Prometheus-style counter reset on worker
+    restart), so the retry's deltas fold from a clean slate and the
+    final figures match an unfaulted run.
     """
 
     def __init__(self, spool_dir: str | Path, num_shards: int,
@@ -476,8 +621,11 @@ class SpoolTailer:
         self._offsets = {shard: 0 for shard in range(num_shards)}
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
         #: shards whose counter deltas were folded into the registry.
         self.folded_shards: set[int] = set()
+        #: per-shard counter keys folded so far (undone on reset_shard).
+        self._folded_keys: dict[int, set[str]] = {}
 
     def start(self) -> "SpoolTailer":
         if self._thread is None:
@@ -488,9 +636,22 @@ class SpoolTailer:
 
     def stop(self) -> None:
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=10.0)
-            self._thread = None
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=10.0)
+            if thread.is_alive():
+                # the poll thread is wedged (most likely inside a drain
+                # on pathological I/O). Don't drop the remaining spool
+                # records silently: say so, count it, and try a final
+                # drain with a bounded lock wait.
+                _log.warning(
+                    "spool tailer thread failed to stop within 10s; "
+                    "live telemetry is degraded (final records may "
+                    "arrive late or fold at merge time)")
+                obs.add("tailer.stalled_total")
+                obsevents.emit("tailer.stalled", shards=self.num_shards)
+                self.drain(lock_timeout=1.0)
+                return
         self.drain()  # pick up anything written after the last poll
 
     def __enter__(self) -> "SpoolTailer":
@@ -504,24 +665,50 @@ class SpoolTailer:
         while not self._stop.wait(self.poll_interval):
             self.drain()
 
-    def drain(self) -> int:
-        """Consume all new complete records; returns how many."""
-        consumed = 0
-        for shard in range(self.num_shards):
-            lines, offset = obsevents.iter_complete_lines(
-                obsevents.spool_path(self.spool_dir, shard),
-                self._offsets[shard])
-            self._offsets[shard] = offset
-            for line in lines:
+    def drain(self, lock_timeout: float | None = None) -> int:
+        """Consume all new complete records; returns how many.
+
+        ``lock_timeout`` bounds the wait for the internal lock (used by
+        the stalled-shutdown path); ``None`` waits indefinitely.
+        """
+        if not self._lock.acquire(
+                timeout=-1 if lock_timeout is None else lock_timeout):
+            return 0
+        try:
+            consumed = 0
+            for shard in range(self.num_shards):
+                lines, offset = obsevents.iter_complete_lines(
+                    obsevents.spool_path(self.spool_dir, shard),
+                    self._offsets[shard])
+                self._offsets[shard] = offset
+                for line in lines:
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if not isinstance(record, dict):
+                        continue
+                    consumed += 1
+                    self._consume(shard, record)
+            return consumed
+        finally:
+            self._lock.release()
+
+    def reset_shard(self, shard: int) -> None:
+        """Discard everything tailed from ``shard`` ahead of a retry."""
+        with self._lock:
+            self._offsets[shard] = 0
+            for key in self._folded_keys.pop(shard, set()):
+                name, labels = _parse_key(key)
+                labels["shard"] = str(shard)
+                self.registry.counter(name, **labels).reset()
+            self.folded_shards.discard(shard)
+            for path in (obsevents.spool_path(self.spool_dir, shard),
+                         obsevents.trace_spool_path(self.spool_dir, shard)):
                 try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                if not isinstance(record, dict):
-                    continue
-                consumed += 1
-                self._consume(shard, record)
-        return consumed
+                    Path(path).unlink()
+                except FileNotFoundError:
+                    pass
 
     def _consume(self, shard: int, record: dict) -> None:
         if record.get("kind") == "metrics.delta" \
@@ -533,7 +720,8 @@ class SpoolTailer:
                 try:
                     self.registry.counter(name, **labels).inc(float(moved))
                 except (TypeError, ValueError):
-                    pass
+                    continue
+                self._folded_keys.setdefault(shard, set()).add(key)
         if self.event_log is not None:
             self.event_log.forward(record)
 
@@ -566,6 +754,521 @@ def merge_shard_traces(recorder, spool_dir: str | Path,
     return merged
 
 
+# -- supervision -----------------------------------------------------------
+
+
+#: File name of the completed-shards manifest inside a checkpoint dir.
+MANIFEST_NAME = "shards.json"
+
+#: File name of the sharded-run setup snapshot inside a checkpoint dir:
+#: the pickled ``(config, plan, num_shards)`` a resumed coordinator
+#: needs to re-derive the run deterministically (checkpoint file
+#: format — magic + sha256 + pickle). Its presence is how
+#: ``resume_experiment`` recognizes a sharded checkpoint directory.
+SETUP_NAME = "shards.setup.rpck"
+
+
+class ShardManifest:
+    """Crash-safe record of a sharded run's completed shards.
+
+    One JSON file (``shards.json``) in the spill root, rewritten
+    atomically (tmp + fsync + rename) after every shard completion, so
+    it is never observed torn. After a coordinator crash,
+    :meth:`restorable` returns the completed shard results whose spill
+    segments are still intact on disk — those shards are skipped by the
+    resumed run; everything else re-executes.
+
+    Format::
+
+        {"format_version": 1, "num_shards": N,
+         "completed": {"<shard>": <run_shard result dict>, ...}}
+    """
+
+    FORMAT_VERSION = 1
+
+    def __init__(self, path: str | Path, num_shards: int,
+                 completed: dict[int, dict] | None = None) -> None:
+        self.path = Path(path)
+        self.num_shards = num_shards
+        self.completed: dict[int, dict] = dict(completed or {})
+
+    @classmethod
+    def open(cls, directory: str | Path, num_shards: int) -> "ShardManifest":
+        """Load the manifest of ``directory``, or start a fresh one.
+
+        A manifest that does not parse, has the wrong format version, or
+        was written for a different shard count is ignored (with a
+        warning): the shards it recorded are not trusted and the run
+        starts from zero completed — always safe, merely slower.
+        """
+        path = Path(directory) / MANIFEST_NAME
+        if path.exists():
+            try:
+                raw = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                raw = None
+            if isinstance(raw, dict) \
+                    and raw.get("format_version") == cls.FORMAT_VERSION \
+                    and raw.get("num_shards") == num_shards \
+                    and isinstance(raw.get("completed"), dict):
+                return cls(path, num_shards,
+                           {int(k): v for k, v in raw["completed"].items()})
+            _log.warning("ignoring unusable shard manifest %s", path)
+        return cls(path, num_shards)
+
+    def record(self, shard: int, result: dict) -> Path:
+        """Durably mark ``shard`` completed with its worker result."""
+        self.completed[shard] = result
+        payload = json.dumps({
+            "format_version": self.FORMAT_VERSION,
+            "num_shards": self.num_shards,
+            "completed": {str(k): v
+                          for k, v in sorted(self.completed.items())},
+        }, indent=1)
+        tmp = self.path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        obs.event("shard.manifest", shard=shard,
+                  completed=len(self.completed))
+        return self.path
+
+    def restorable(self, spill_root: str | Path) -> dict[int, dict]:
+        """Completed results whose spill chunks still exist, re-anchored.
+
+        Segment directories are re-derived from ``spill_root`` (the
+        canonical ``<root>/shardNNN/<telescope>`` layout) rather than
+        trusted from the stored absolute paths, so a moved checkpoint
+        directory restores correctly. A shard with any missing chunk
+        file is dropped — it simply re-runs.
+        """
+        spill_root = Path(spill_root)
+        good: dict[int, dict] = {}
+        for shard, result in sorted(self.completed.items()):
+            segments: dict[str, dict] = {}
+            intact = True
+            for name, info in (result.get("segments") or {}).items():
+                chunk_dir = spill_root / f"shard{shard:03d}" / name
+                manifest = info.get("manifest") or []
+                if not all(
+                        (chunk_dir / f"{c['name']}.time.npy").exists()
+                        for c in manifest):
+                    intact = False
+                    break
+                segments[name] = dict(info, dir=str(chunk_dir))
+            if intact and set(segments) == set(TELESCOPE_NAMES):
+                good[shard] = dict(result, segments=segments,
+                                   restored=True)
+            else:
+                _log.warning(
+                    "shard %d recorded complete but its spill segments "
+                    "are gone or partial; it will re-run", shard)
+        return good
+
+
+def _stderr_tail(path: Path, limit: int = 2048) -> str:
+    """The last ``limit`` bytes of a worker's captured stderr."""
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            fh.seek(max(0, size - limit))
+            return fh.read().decode("utf-8", errors="replace").strip()
+    except OSError:
+        return ""
+
+
+@dataclass
+class _ShardState:
+    """Supervisor-side lifecycle of one shard."""
+
+    task: ShardTask
+    attempt: int = 0  # attempts started so far
+    process: "multiprocessing.process.BaseProcess | None" = None
+    started_at: float = 0.0
+    last_progress: float = 0.0
+    spool_size: int = -1
+    not_before: float = 0.0  # monotonic instant the next attempt may start
+    done: bool = False
+    quarantined: bool = False
+    restored: bool = False
+    result: dict | None = None
+    last_cause: str = ""
+    stderr_tail: str = ""
+
+
+class ShardSupervisor:
+    """Run shard tasks under failure detection, bounded retry, and
+    graceful degradation (DESIGN §11).
+
+    Two backends share one policy engine:
+
+    - **process backend** (default, ``executor=None``): one supervised
+      ``multiprocessing.Process`` per shard. The supervisor polls for
+      exits (a missing result file or nonzero exitcode is a failure,
+      with the worker's captured stderr tail as the diagnosis) and
+      enforces per-shard wall-clock timeouts derived from the LPT cost
+      model — a shard whose telemetry spool stops growing for its
+      budget is declared hung and SIGKILLed. Workers arm
+      ``PR_SET_PDEATHSIG`` so a SIGKILLed coordinator cannot leak
+      orphans into a spill directory a resumed run will reuse.
+    - **executor backend** (an injected pool): failures surface as
+      future exceptions (including ``BrokenProcessPool``, which breaks
+      the pool permanently — later attempts run serially in the
+      coordinator). Hang timeouts are not enforced here: a pool gives
+      no handle to kill one worker.
+
+    Either way a failed shard is retried up to
+    ``policy.max_attempts`` times with exponential backoff, its spill
+    and telemetry remnants wiped first so the re-execution is
+    byte-identical to a first try. A shard that exhausts its budget
+    raises :class:`~repro.errors.ShardError` (strict) or is quarantined
+    (``on_failure="degrade"``) for the driver to turn into coverage
+    gaps. Progress is narrated as ``shard.retry`` / ``shard.timeout`` /
+    ``shard.quarantined`` / ``shard.skipped`` events and
+    ``sharding.*_total`` counters.
+    """
+
+    def __init__(self, tasks: Mapping[int, ShardTask], *,
+                 policy: "RetryPolicy | Mapping | None" = None,
+                 timeouts: Mapping[int, float] | None = None,
+                 on_failure: str = "raise",
+                 executor: Executor | None = None,
+                 tailer: SpoolTailer | None = None,
+                 completed: Mapping[int, dict] | None = None,
+                 on_complete: "Callable[[int, dict], None] | None" = None,
+                 runner: "Callable[[ShardTask], dict]" = run_shard,
+                 max_workers: int | None = None,
+                 poll_interval: float = 0.05) -> None:
+        self.policy = RetryPolicy.of(policy)
+        self.timeouts = dict(timeouts) if timeouts is not None else None
+        self.on_failure = on_failure
+        self.executor = executor
+        self.tailer = tailer
+        self.on_complete = on_complete
+        self.runner = runner
+        self.max_workers = max_workers or len(tasks) or 1
+        self.poll_interval = poll_interval
+        self.retries = 0
+        self.quarantined: list[int] = []
+        self._states = {shard: _ShardState(task=task)
+                        for shard, task in sorted(tasks.items())}
+        for shard, result in (completed or {}).items():
+            state = self._states.get(shard)
+            if state is None:
+                continue
+            state.done = True
+            state.restored = True
+            state.result = dict(result, restored=True)
+        spills = {Path(t.spill_dir) for t in tasks.values()}
+        if len(spills) != 1:
+            raise ExperimentError(
+                f"supervised shard tasks must share one spill dir, "
+                f"got {sorted(map(str, spills))}")
+        self.spill_dir = spills.pop()
+
+    # -- shared bookkeeping ------------------------------------------------
+
+    def run(self) -> list[dict | None]:
+        """Execute every shard; results in shard order (None =
+        quarantined)."""
+        for shard, state in self._states.items():
+            if state.restored:
+                _log.info("shard %d restored from manifest, skipping",
+                          shard)
+                obsevents.emit("shard.skipped", shard=shard)
+        pending = [s for s in self._states.values() if not s.done]
+        if pending:
+            if self.executor is not None:
+                self._run_executor(pending)
+            else:
+                self._run_processes(pending)
+        return [state.result
+                for _, state in sorted(self._states.items())]
+
+    def _result_path(self, shard: int) -> Path:
+        return self.spill_dir / f"shard{shard:03d}.result.json"
+
+    def _stderr_path(self, shard: int) -> Path:
+        return self.spill_dir / f"shard{shard:03d}.stderr"
+
+    def _shard_timeout(self, state: _ShardState) -> float | None:
+        if self.timeouts is None:
+            return None
+        base = self.timeouts.get(state.task.shard)
+        if base is None:
+            return None
+        return base * (self.policy.timeout_factor ** (state.attempt - 1))
+
+    def _cleanup_attempt(self, state: _ShardState) -> None:
+        """Wipe every remnant of a failed attempt before re-executing."""
+        shard = state.task.shard
+        shutil.rmtree(self.spill_dir / f"shard{shard:03d}",
+                      ignore_errors=True)
+        for path in (self._result_path(shard),):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+        if self.tailer is not None:
+            self.tailer.reset_shard(shard)
+        state.spool_size = -1
+
+    def _succeed(self, state: _ShardState, result: dict) -> None:
+        result = dict(result, attempts=state.attempt)
+        state.result = result
+        state.done = True
+        if self.on_complete is not None:
+            self.on_complete(state.task.shard, result)
+
+    def _fail(self, state: _ShardState, cause: str,
+              stderr_tail: str = "") -> None:
+        """One attempt failed: schedule a retry or exhaust the budget."""
+        shard = state.task.shard
+        state.last_cause = cause
+        state.stderr_tail = stderr_tail or state.stderr_tail
+        if state.attempt >= self.policy.max_attempts:
+            self._exhaust(state)
+            return
+        delay = self.policy.delay(state.attempt)
+        self.retries += 1
+        obs.add("sharding.retries_total")
+        obsevents.emit("shard.retry", shard=shard, attempt=state.attempt,
+                       cause=cause, delay=round(delay, 3))
+        _log.warning(
+            "shard %d attempt %d failed (%s); retrying in %.2fs%s",
+            shard, state.attempt, cause, delay,
+            f"\n  worker stderr tail:\n{state.stderr_tail}"
+            if state.stderr_tail else "")
+        self._cleanup_attempt(state)
+        state.not_before = time.monotonic() + delay
+
+    def _exhaust(self, state: _ShardState) -> None:
+        shard = state.task.shard
+        if self.on_failure == "degrade":
+            state.quarantined = True
+            state.done = True
+            state.result = None
+            self.quarantined.append(shard)
+            obs.add("sharding.quarantined_total")
+            obsevents.emit("shard.quarantined", shard=shard,
+                           attempts=state.attempt, cause=state.last_cause)
+            _log.error(
+                "shard %d quarantined after %d attempts (%s): its "
+                "scanners' traffic becomes coverage gaps",
+                shard, state.attempt, state.last_cause)
+            return
+        self._kill_all()
+        message = (f"shard {shard} failed terminally after "
+                   f"{state.attempt} attempt(s): {state.last_cause}")
+        if state.stderr_tail:
+            message += f"\nworker stderr tail:\n{state.stderr_tail}"
+        raise ShardError(message, shard=shard, attempt=state.attempt,
+                         cause=state.last_cause,
+                         stderr_tail=state.stderr_tail)
+
+    def _kill_all(self) -> None:
+        for state in self._states.values():
+            proc = state.process
+            if proc is not None and proc.is_alive():
+                proc.kill()
+                proc.join()
+            state.process = None
+
+    # -- process backend ---------------------------------------------------
+
+    def _launch(self, state: _ShardState) -> None:
+        shard = state.task.shard
+        state.attempt += 1
+        task = replace(state.task, attempt=state.attempt)
+        result_path = self._result_path(shard)
+        stderr_path = self._stderr_path(shard)
+        for path in (result_path, stderr_path):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(self.runner, task, str(result_path), str(stderr_path)),
+            name=f"repro-shard-{shard}", daemon=True)
+        proc.start()
+        now = time.monotonic()
+        state.process = proc
+        state.started_at = now
+        state.last_progress = now
+        state.spool_size = -1
+        _log.debug("shard %d attempt %d launched (pid %d)",
+                   shard, state.attempt, proc.pid)
+
+    def _progressed(self, state: _ShardState) -> bool:
+        """Has the shard's telemetry spool grown since the last check?"""
+        spool = state.task.obs_spool
+        if spool is None:
+            return False
+        try:
+            size = os.path.getsize(
+                obsevents.spool_path(spool, state.task.shard))
+        except OSError:
+            return False
+        if size != state.spool_size:
+            state.spool_size = size
+            return True
+        return False
+
+    def _reap(self, state: _ShardState) -> None:
+        """A worker process exited: classify success or failure."""
+        proc = state.process
+        proc.join()
+        state.process = None
+        exitcode = proc.exitcode
+        result_path = self._result_path(state.task.shard)
+        if result_path.exists():
+            try:
+                self._succeed(state,
+                              json.loads(result_path.read_text()))
+                return
+            except (OSError, json.JSONDecodeError):
+                cause = "unreadable result file"
+        elif exitcode == 0:
+            cause = "exited 0 without a result"
+        else:
+            cause = f"exitcode {exitcode}"
+        self._fail(state, cause,
+                   _stderr_tail(self._stderr_path(state.task.shard)))
+
+    def _run_processes(self, pending: list[_ShardState]) -> None:
+        states = pending
+        try:
+            while True:
+                now = time.monotonic()
+                active = [s for s in states if not s.done]
+                if not active:
+                    return
+                running = [s for s in active if s.process is not None]
+                for state in active:
+                    if state.process is not None \
+                            or state.not_before > now:
+                        continue
+                    if len(running) >= self.max_workers:
+                        break
+                    self._launch(state)
+                    running.append(state)
+                moved = False
+                for state in running:
+                    proc = state.process
+                    if proc is None:
+                        continue
+                    if proc.exitcode is not None:
+                        self._reap(state)
+                        moved = True
+                        continue
+                    timeout = self._shard_timeout(state)
+                    if timeout is None:
+                        continue
+                    if self._progressed(state):
+                        state.last_progress = now
+                    elif now - state.last_progress > timeout:
+                        self._timeout(state, timeout)
+                        moved = True
+                if not moved:
+                    time.sleep(self.poll_interval)
+        except BaseException:
+            self._kill_all()
+            raise
+
+    def _timeout(self, state: _ShardState, timeout: float) -> None:
+        shard = state.task.shard
+        obs.add("sharding.timeouts_total")
+        obsevents.emit("shard.timeout", shard=shard,
+                       attempt=state.attempt,
+                       timeout=round(timeout, 3))
+        _log.warning("shard %d attempt %d exceeded its %.1fs budget "
+                     "without progress; killing worker pid %d",
+                     shard, state.attempt, timeout, state.process.pid)
+        state.process.kill()
+        state.process.join()
+        state.process = None
+        self._fail(state, "timeout")
+
+    # -- executor backend --------------------------------------------------
+
+    def _run_executor(self, pending: list[_ShardState]) -> None:
+        pool_broken = False
+
+        def submit(state: _ShardState):
+            nonlocal pool_broken
+            state.attempt += 1
+            task = replace(state.task, attempt=state.attempt)
+            if not pool_broken and state.attempt < self.policy.max_attempts \
+                    or state.attempt == 1:
+                try:
+                    return self.executor.submit(self.runner, task)
+                except Exception as exc:
+                    pool_broken = True
+                    self._fail(state, f"{type(exc).__name__}: {exc}")
+                    return None
+            # last-resort attempt: run the shard inside the coordinator
+            # (slower, never wrong) — mirrors fan_out's serial fallback
+            obs.add("sharding.serial_fallbacks_total")
+            _log.warning("shard %d attempt %d running serially in the "
+                         "coordinator", state.task.shard, state.attempt)
+            try:
+                self._succeed(state, self.runner(task))
+            except Exception:
+                self._fail(state, "serial execution failed",
+                           traceback.format_exc(limit=16).strip())
+            return None
+
+        futures: dict = {}
+        for state in pending:
+            future = submit(state)
+            if future is not None:
+                futures[future] = state
+        while futures or any(not s.done for s in pending):
+            if not futures:
+                # every remaining shard is between attempts
+                for state in pending:
+                    if not state.done:
+                        self._await_backoff(state)
+                        future = submit(state)
+                        if future is not None:
+                            futures[future] = state
+                continue
+            done, _ = futures_wait(list(futures),
+                                   return_when=FIRST_COMPLETED)
+            for future in done:
+                state = futures.pop(future)
+                try:
+                    self._succeed(state, future.result())
+                    continue
+                except ShardError:
+                    raise
+                except Exception as exc:
+                    cause = type(exc).__name__
+                    if "Broken" in cause:
+                        pool_broken = True
+                    detail = "".join(traceback.format_exception(
+                        exc)).strip()
+                    self._fail(state, cause, detail[-2048:])
+                if not state.done:
+                    self._await_backoff(state)
+                    future = submit(state)
+                    if future is not None:
+                        futures[future] = state
+
+    @staticmethod
+    def _await_backoff(state: _ShardState) -> None:
+        remaining = state.not_before - time.monotonic()
+        if remaining > 0:
+            time.sleep(remaining)
+
+
 def shard_pool(max_workers: int) -> ProcessPoolExecutor:
     """Process pool for shard workers.
 
@@ -591,36 +1294,45 @@ def run_shards(config: ExperimentConfig,
                record_obs: bool = True,
                obs_spool: str | Path | None = None,
                run_id: str | None = None,
-               heartbeat_interval: float | None = None) -> list[dict]:
-    """Fan the shard tasks out and return worker results in shard order.
+               heartbeat_interval: float | None = None,
+               timeouts: Mapping[int, float] | None = None,
+               tailer: SpoolTailer | None = None,
+               completed: Mapping[int, dict] | None = None,
+               on_complete: "Callable[[int, dict], None] | None" = None) \
+        -> list[dict | None]:
+    """Fan the shard tasks out under supervision; results in shard order.
 
     ``feed`` is the recorded collector journal every worker replays
     (see :class:`ShardTask`). ``obs_spool``/``run_id``/
     ``heartbeat_interval`` arm worker-side telemetry spooling (see
     :class:`ShardTask`); start a :class:`SpoolTailer` over the same
-    directory to consume it live. Uses :func:`fan_out` with an injected
-    process pool, so shard workers get the same bounded-retry and
-    serial-fallback treatment as analysis tasks (a shard whose worker
-    dies twice reruns in the coordinator — slower, never wrong, and
-    counted in ``analysis.fanout_serial_fallbacks_total``).
+    directory to consume it live and pass it in as ``tailer`` so a
+    retried shard's live-folded counters reset cleanly. All execution
+    goes through the :class:`ShardSupervisor` — by default its process
+    backend (one supervised worker process per shard, crash/hang
+    detection and bounded retries per ``config.retry_policy``);
+    ``executor`` switches to the injected-pool backend. ``completed``
+    pre-seeds manifest-restored shards (skipped, not re-run) and
+    ``on_complete`` fires per fresh completion (the driver records the
+    manifest there). A quarantined shard's slot holds ``None``.
     """
     tasks = {
-        f"shard-{index}": partial(run_shard, ShardTask(
+        index: ShardTask(
             config=config, plan=plan, shard=index,
             num_shards=num_shards, spill_dir=str(spill_dir),
             feed=feed, record_obs=record_obs,
             obs_spool=str(obs_spool) if obs_spool is not None else None,
             run_id=run_id, heartbeat_interval=heartbeat_interval,
-            coordinator_pid=os.getpid()))
+            coordinator_pid=os.getpid())
         for index in range(num_shards)}
-    pool = executor if executor is not None else shard_pool(num_shards)
-    try:
-        results = fan_out(tasks, jobs=num_shards, executor=pool)
-    finally:
-        if executor is None:
-            pool.shutdown(wait=True)
-    ordered = [results[f"shard-{index}"][1] for index in range(num_shards)]
+    supervisor = ShardSupervisor(
+        tasks, policy=config.retry_policy, timeouts=timeouts,
+        on_failure=config.on_shard_failure, executor=executor,
+        tailer=tailer, completed=completed, on_complete=on_complete)
+    ordered = supervisor.run()
     for res in ordered:
+        if res is None:
+            continue
         _log.debug("shard %d: %d scanners, %d packets emitted",
                    res["shard"], res["scanners"], res["packets_emitted"])
     return ordered
@@ -640,7 +1352,8 @@ def open_shard_segments(results: Sequence[dict]) \
     """
     segments: dict[str, list[ChunkedPacketTable]] = {
         name: [] for name in TELESCOPE_NAMES}
-    for res in sorted(results, key=lambda r: r["shard"]):
+    for res in sorted((r for r in results if r is not None),
+                      key=lambda r: r["shard"]):
         for name in TELESCOPE_NAMES:
             info = res["segments"][name]
             segments[name].append(open_table_chunks(

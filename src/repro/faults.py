@@ -20,7 +20,12 @@ built deployment:
   and the decision for a packet is independent of routing order (the
   sharded builder relies on this);
 - **store corruption** — named corpus segments are bit-flipped after a
-  save, for exercising the loader's checksum quarantine path.
+  save, for exercising the loader's checksum quarantine path;
+- **process faults** — a shard worker SIGKILLs or hangs itself at a
+  given fraction of simulated time, for chaos-testing the shard
+  supervisor's retry/timeout machinery (DESIGN §11). Arming a process
+  fault schedules no RNG draws and no extra simulation events beyond
+  the trigger marker, so a surviving attempt's corpus is unaffected.
 
 Every injected fault increments an ``faults.*`` obs counter and the
 schedule markers run inside ``fault.*`` tracing spans. An empty plan
@@ -31,6 +36,9 @@ byte-identical to a run without the layer (differential-tested).
 from __future__ import annotations
 
 import json
+import os
+import signal
+import time
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
@@ -42,6 +50,9 @@ from repro.errors import FaultError
 
 #: Valid blackout / corruption targets.
 TELESCOPE_NAMES = ("T1", "T2", "T3", "T4")
+
+#: Valid process-fault kinds.
+PROCESS_FAULT_KINDS = ("kill_shard", "hang_shard")
 
 log = obs.log.get_logger("faults")
 
@@ -63,6 +74,26 @@ class BgpFlap:
     end: float
 
 
+@dataclass(frozen=True, slots=True)
+class ProcessFault:
+    """One worker-process fault, triggered at a fraction of sim time.
+
+    ``kill_shard`` makes the targeted shard worker SIGKILL itself when
+    its simulation clock crosses ``at_fraction * duration``; the
+    supervisor sees a dead process with exitcode -9. ``hang_shard``
+    makes it spin forever at that point, exercising the wall-clock
+    timeout path. ``max_attempt`` bounds which execution attempts fire
+    the fault: the default 1 faults only the first try (so a retry
+    succeeds); a large value faults every attempt (so the shard
+    exhausts its budget and quarantine/strict handling kicks in).
+    """
+
+    kind: str
+    shard: int
+    at_fraction: float
+    max_attempt: int = 1
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Declarative, deterministic schedule of substrate faults.
@@ -78,10 +109,13 @@ class FaultPlan:
     loss_rate: float = 0.0
     #: corpus segments (telescope names) to corrupt after a save.
     corrupt_segments: tuple[str, ...] = ()
+    #: worker-process faults (sharded runs only; ignored in-coordinator).
+    process_faults: tuple[ProcessFault, ...] = ()
 
     def is_empty(self) -> bool:
         return (not self.blackouts and not self.flaps
-                and self.loss_rate == 0.0 and not self.corrupt_segments)
+                and self.loss_rate == 0.0 and not self.corrupt_segments
+                and not self.process_faults)
 
     def validate(self) -> None:
         for window in self.blackouts:
@@ -101,6 +135,22 @@ class FaultPlan:
         for name in self.corrupt_segments:
             if name not in TELESCOPE_NAMES:
                 raise FaultError(f"unknown corrupt segment {name!r}")
+        for fault in self.process_faults:
+            if fault.kind not in PROCESS_FAULT_KINDS:
+                raise FaultError(
+                    f"unknown process fault kind {fault.kind!r} "
+                    f"(expected one of {PROCESS_FAULT_KINDS})")
+            if fault.shard < 0:
+                raise FaultError(
+                    f"process fault shard must be >= 0, got {fault.shard}")
+            if not (0.0 <= fault.at_fraction <= 1.0):
+                raise FaultError(
+                    f"process fault at_fraction must be in [0, 1], "
+                    f"got {fault.at_fraction}")
+            if fault.max_attempt < 1:
+                raise FaultError(
+                    f"process fault max_attempt must be >= 1, "
+                    f"got {fault.max_attempt}")
 
     def blackouts_for(self, telescope: str) \
             -> tuple[tuple[float, float], ...]:
@@ -118,6 +168,11 @@ class FaultPlan:
             "flaps": [{"start": f.start, "end": f.end} for f in self.flaps],
             "loss_rate": self.loss_rate,
             "corrupt_segments": list(self.corrupt_segments),
+            "process_faults": [
+                {"kind": p.kind, "shard": p.shard,
+                 "at_fraction": p.at_fraction,
+                 "max_attempt": p.max_attempt}
+                for p in self.process_faults],
         }, indent=1)
 
     @classmethod
@@ -129,7 +184,7 @@ class FaultPlan:
         if not isinstance(raw, dict):
             raise FaultError("fault plan must be a JSON object")
         unknown = set(raw) - {"blackouts", "flaps", "loss_rate",
-                              "corrupt_segments"}
+                              "corrupt_segments", "process_faults"}
         if unknown:
             raise FaultError(f"unknown fault plan keys: {sorted(unknown)}")
         try:
@@ -143,7 +198,12 @@ class FaultPlan:
                     BgpFlap(start=float(f["start"]), end=float(f["end"]))
                     for f in raw.get("flaps", ())),
                 loss_rate=float(raw.get("loss_rate", 0.0)),
-                corrupt_segments=tuple(raw.get("corrupt_segments", ())))
+                corrupt_segments=tuple(raw.get("corrupt_segments", ())),
+                process_faults=tuple(
+                    ProcessFault(kind=p["kind"], shard=int(p["shard"]),
+                                 at_fraction=float(p["at_fraction"]),
+                                 max_attempt=int(p.get("max_attempt", 1)))
+                    for p in raw.get("process_faults", ())))
         except (KeyError, TypeError, ValueError) as exc:
             raise FaultError(f"malformed fault plan entry: {exc}") from exc
         plan.validate()
@@ -222,6 +282,50 @@ class FaultInjector:
                 deployment.loss_rate = self.plan.loss_rate
                 deployment.loss_seed = \
                     deployment.streams.seed_for("faults.loss")
+
+    def arm_process_faults(self, simulator, *, shard: int, duration: float,
+                           attempt: int = 1,
+                           coordinator_pid: int | None = None) -> int:
+        """Schedule this shard's process faults on its worker simulator.
+
+        Called by the shard worker body, not by :meth:`install`: process
+        faults target the worker's own process, and must re-arm (or not)
+        per attempt. Faults for other shards, attempts past the fault's
+        ``max_attempt``, or a worker that is actually the coordinator
+        (serial fallback runs the shard body in-process, where a
+        self-SIGKILL would take down the whole run) are skipped.
+        Returns the number of faults armed. Arming draws no RNG and
+        the trigger fires strictly at its scheduled sim time, so a
+        surviving attempt's output is byte-identical to an unfaulted
+        run.
+        """
+        if coordinator_pid is not None and os.getpid() == coordinator_pid:
+            return 0
+        armed = 0
+        for fault in self.plan.process_faults:
+            if fault.shard != shard or attempt > fault.max_attempt:
+                continue
+            when = fault.at_fraction * duration
+            simulator.schedule_at(
+                when, partial(self._trigger_process_fault, fault, shard,
+                              attempt),
+                label=f"fault:{fault.kind}")
+            armed += 1
+        return armed
+
+    def _trigger_process_fault(self, fault: ProcessFault, shard: int,
+                               attempt: int) -> None:
+        obs.event("fault.process", kind=fault.kind, shard=shard,
+                  attempt=attempt)
+        log.warning("fault: %s firing in shard %d (attempt %d, pid %d)",
+                    fault.kind, shard, attempt, os.getpid())
+        if fault.kind == "kill_shard":
+            # Die the way a real OOM kill does: no cleanup, no flush.
+            os.kill(os.getpid(), signal.SIGKILL)
+        # hang_shard: stop consuming the event queue forever. The
+        # supervisor's wall-clock timeout is the only way out.
+        while True:  # pragma: no cover - killed externally
+            time.sleep(60.0)
 
     # -- scheduled fault callbacks ----------------------------------------
 

@@ -98,11 +98,31 @@ class StatusBoard:
                         str(shard), {"done": False})
                     entry.update(progress)
             elif kind == "shard.start":
-                state["shards"].setdefault(str(shard), {})["done"] = False
+                entry = state["shards"].setdefault(str(shard), {})
+                entry["done"] = False
+                entry["attempt"] = record.get("attempt", 1)
             elif kind == "shard.end":
                 entry = state["shards"].setdefault(str(shard), {})
                 entry["done"] = True
                 entry["packets_emitted"] = record.get("packets_emitted")
+            elif kind == "shard.retry":
+                entry = state["shards"].setdefault(str(shard), {})
+                entry["done"] = False
+                entry["retries"] = entry.get("retries", 0) + 1
+                entry["last_failure"] = record.get("cause")
+            elif kind == "shard.timeout":
+                entry = state["shards"].setdefault(str(shard), {})
+                entry["timed_out"] = True
+                entry["last_failure"] = "timeout"
+            elif kind == "shard.quarantined":
+                entry = state["shards"].setdefault(str(shard), {})
+                entry["done"] = True
+                entry["quarantined"] = True
+                entry["last_failure"] = record.get("cause")
+            elif kind == "shard.skipped":
+                entry = state["shards"].setdefault(str(shard), {})
+                entry["done"] = True
+                entry["restored"] = True
             elif kind == "run.end":
                 state["stage"] = "done"
 

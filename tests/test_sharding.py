@@ -341,10 +341,21 @@ class TestDistributedTelemetry:
 
 
 class TestShardingGuards:
-    def test_checkpointing_a_sharded_run_is_rejected(self, tmp_path):
-        with pytest.raises(ExperimentError, match="checkpoint"):
-            run_experiment(ExperimentConfig.tiny(), shards=2,
-                           checkpoint_dir=tmp_path)
+    def test_checkpointed_sharded_run_persists_manifest(self, tmp_path,
+                                                        tiny_result):
+        """The shards×checkpoint exclusion is lifted (DESIGN §11): the
+        combination persists completed shards plus a shards.json
+        manifest and still reproduces the unsharded corpus exactly."""
+        result = run_experiment(ExperimentConfig.tiny(), shards=2,
+                                checkpoint_dir=tmp_path)
+        assert corpus_digest(result.corpus) \
+            == corpus_digest(tiny_result.corpus)
+        assert (tmp_path / sharding.SETUP_NAME).exists()
+        manifest = sharding.ShardManifest.open(tmp_path, 2)
+        assert set(manifest.completed) == {0, 1}
+        restored = manifest.restorable(tmp_path / "shards")
+        assert set(restored) == {0, 1}
+        assert all(r["restored"] for r in restored.values())
 
     def test_legacy_emission_is_rejected(self):
         config = ExperimentConfig.tiny()
